@@ -1,0 +1,219 @@
+package clara
+
+// Benchmarks, one per paper artifact (DESIGN.md experiments E1–E9) plus the
+// pipeline stages. Each benchmark iteration regenerates the corresponding
+// table/figure at a reduced trace length; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep, or cmd/clara-eval for human-readable tables at
+// arbitrary scale.
+
+import (
+	"testing"
+
+	"clara/internal/eval"
+	"clara/internal/nf"
+)
+
+var benchCfg = eval.Config{Packets: 600, Seed: 11}
+
+// BenchmarkFig1 regenerates the Figure 1 variability table (E1): five NFs,
+// 2–4 variants each, measured on the simulated Netronome.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig1(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3a regenerates the LPM predicted-vs-actual sweep (E2).
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig3a(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3b regenerates the VNF-chain sweep (E3).
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig3b(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3c regenerates the NAT sweep (E4).
+func BenchmarkFig3c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig3c(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccuracy regenerates the §4 prediction-error table (E5).
+func BenchmarkAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Accuracy(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicrobench regenerates the §3.2 parameter table (E6).
+func BenchmarkMicrobench(b *testing.B) {
+	t, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Microbench(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCksumGap regenerates the §2.1 checksum-placement example (E7).
+func BenchmarkCksumGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Cksum(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClasses regenerates the §3.5 per-class profile (E8).
+func BenchmarkClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Classes(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterference regenerates the co-residency analysis (E9).
+func BenchmarkInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Interference(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationILP regenerates the ILP-vs-greedy ablation.
+func BenchmarkAblationILP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ILPvsGreedy(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pipeline-stage benchmarks -------------------------------------------
+
+// BenchmarkCompileNF measures front-end + dataflow-graph extraction.
+func BenchmarkCompileNF(b *testing.B) {
+	src := nf.VNFChain().Source
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileNF(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapILP measures one Π/Γ/Θ solve.
+func BenchmarkMapILP(b *testing.B) {
+	nfo, err := CompileNF(nf.VNFChain().Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nfo.Map(target, wl, Hints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures one full per-class prediction.
+func BenchmarkPredict(b *testing.B) {
+	nfo, err := CompileNF(nf.VNFChain().Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nfo.Map(target, wl, Hints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nfo.PredictMapped(target, m, wl, PredictOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures simulator throughput (packets per iteration).
+func BenchmarkSimulate(b *testing.B) {
+	nfo, err := CompileNF(nf.Firewall(65536).Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("packets=2000,tcp=1.0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nfo.Map(target, wl, Hints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := ParseTrafficProfile("packets=2000,tcp=1.0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := GenerateTrace(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(tr.Packets)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nfo.Measure(target, m, tr, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartial regenerates the §6 partial-offloading cut sweep.
+func BenchmarkPartial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Partial(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package clara provides performance clarity for SmartNIC offloading, a Go
+// reproduction of "Clara: Performance Clarity for SmartNIC Offloading"
+// (HotNets 2020). Clara analyzes an unported network function in its
+// original form and predicts its performance when offloaded to a SmartNIC
+// target, before any porting happens.
+//
+// The workflow mirrors the paper's Figure 2:
+//
+//  1. Compile the NF source into the Clara IR (the LLVM front-end role),
+//     with framework API calls substituted by virtual calls.
+//  2. Pick a parameterized logical SmartNIC target (Netronome Agilio CX,
+//     an ARM-SoC-style NIC, or a pipeline-ASIC-style NIC).
+//  3. Map the NF's dataflow graph onto the target by solving the Π/Γ/Θ
+//     integer linear program — emulating a compiler plus hand-tuning.
+//  4. Predict latency per packet class and idealized throughput for a
+//     workload profile (a pcap trace or an abstract description).
+//  5. Optionally Measure the same mapping on the bundled cycle-level
+//     SmartNIC simulator, the stand-in for real hardware.
+//
+// A minimal session:
+//
+//	nf, _ := clara.CompileNF(src)
+//	target, _ := clara.NewTarget("netronome")
+//	wl, _ := clara.ParseWorkload("flows=10000,rate=60000,size=300")
+//	pred, _ := nf.Predict(target, wl, clara.Hints{})
+//	fmt.Println(pred)
+package clara
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"clara/internal/cir"
+	"clara/internal/lnic"
+	"clara/internal/mapper"
+	"clara/internal/microbench"
+	"clara/internal/nfc"
+	"clara/internal/nicsim"
+	"clara/internal/partial"
+	"clara/internal/predict"
+	"clara/internal/symexec"
+	"clara/internal/workload"
+)
+
+// Re-exported workflow types. The aliases make the full APIs of the
+// underlying components part of the public surface.
+type (
+	// Target is a parameterized logical SmartNIC (§3.1–3.2).
+	Target = lnic.LNIC
+	// Hints constrain the mapper to emulate specific porting strategies.
+	Hints = mapper.Hints
+	// Mapping is the solved NF-to-hardware lowering (§3.4).
+	Mapping = mapper.Mapping
+	// Workload carries traffic expectations (§3.5).
+	Workload = mapper.Workload
+	// TrafficProfile describes synthetic traffic for trace generation.
+	TrafficProfile = workload.Profile
+	// Trace is a replayable packet sequence.
+	Trace = workload.Trace
+	// Prediction is Clara's output performance profile.
+	Prediction = predict.Prediction
+	// PredictOptions tunes workload-unobservable rates.
+	PredictOptions = predict.Options
+	// Measurement is a simulator run's result (the "Actual" side).
+	Measurement = nicsim.Result
+	// Placement carries the mapping decisions the simulator honors.
+	Placement = nicsim.Placement
+	// Class is one enumerated NF behaviour (§3.5).
+	Class = symexec.Class
+	// BenchReport is a microbenchmark-recovered parameter sheet (§3.2).
+	BenchReport = microbench.Report
+	// PartialAnalysis is a partial-offloading cut sweep (§6 extension).
+	PartialAnalysis = partial.Analysis
+	// PCIe parameterizes the host/NIC interconnect for partial offloading.
+	PCIe = partial.PCIe
+)
+
+// NF is a compiled, analyzed network function.
+type NF struct {
+	Source  string
+	Program *cir.Program
+	Graph   *cir.Graph
+	// Preload requests pre-installed table entries for measurement (rule
+	// tables); keyed by state name.
+	Preload map[string]int
+}
+
+// CompileNF lowers NF-dialect source into Clara IR and extracts its
+// dataflow graph.
+func CompileNF(source string) (*NF, error) {
+	prog, err := nfc.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cir.BuildGraph(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &NF{Source: source, Program: prog, Graph: g, Preload: map[string]int{}}, nil
+}
+
+// LoadNF reads and compiles an NF source file.
+func LoadNF(path string) (*NF, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return CompileNF(string(data))
+}
+
+// Name returns the NF's declared name.
+func (nf *NF) Name() string { return nf.Program.Name }
+
+// Targets lists the built-in SmartNIC profiles.
+func Targets() []string { return lnic.ProfileNames() }
+
+// NewTarget instantiates a built-in SmartNIC profile by name.
+func NewTarget(name string) (*Target, error) {
+	mk, ok := lnic.Profiles()[name]
+	if !ok {
+		return nil, fmt.Errorf("clara: unknown target %q (have %v)", name, Targets())
+	}
+	return mk(), nil
+}
+
+// ParseWorkload parses an abstract workload spec such as
+// "packets=20000,rate=60000,flows=10000,tcp=0.8,size=300" into expectations.
+func ParseWorkload(spec string) (Workload, error) {
+	p, err := workload.ParseProfile(spec)
+	if err != nil {
+		return Workload{}, err
+	}
+	return mapper.FromProfile(p), nil
+}
+
+// ParseTrafficProfile parses the same spec into a generator profile.
+func ParseTrafficProfile(spec string) (TrafficProfile, error) {
+	return workload.ParseProfile(spec)
+}
+
+// WorkloadFromPcap derives expectations from a recorded trace.
+func WorkloadFromPcap(r io.Reader) (Workload, *Trace, error) {
+	tr, err := workload.ReadPcap(r, "pcap")
+	if err != nil {
+		return Workload{}, nil, err
+	}
+	return mapper.FromStats(tr.Stats()), tr, nil
+}
+
+// GenerateTrace synthesizes a packet trace from a profile.
+func GenerateTrace(p TrafficProfile) (*Trace, error) { return workload.Generate(p) }
+
+// Map lowers the NF onto the target for the workload (§3.4). The dataflow
+// graph's edge probabilities are first refined by behaviour enumeration.
+func (nf *NF) Map(t *Target, wl Workload, h Hints) (*Mapping, error) {
+	classes, err := symexec.Enumerate(nf.Program)
+	if err != nil {
+		return nil, err
+	}
+	symexec.AnnotateGraph(nf.Graph, classes, symexec.WeightsFor(wl))
+	return mapper.Map(nf.Graph, t, wl, h)
+}
+
+// MapGreedy is the no-solver baseline mapping (ablation).
+func (nf *NF) MapGreedy(t *Target, wl Workload, h Hints) (*Mapping, error) {
+	return mapper.Greedy(nf.Graph, t, wl, h)
+}
+
+// PredictMapped produces the performance profile for an existing mapping.
+func (nf *NF) PredictMapped(t *Target, m *Mapping, wl Workload, opts PredictOptions) (*Prediction, error) {
+	return predict.Predict(nf.Program, m, t, wl, opts)
+}
+
+// Predict runs the full workflow: map, then predict.
+func (nf *NF) Predict(t *Target, wl Workload, h Hints) (*Prediction, error) {
+	m, err := nf.Map(t, wl, h)
+	if err != nil {
+		return nil, err
+	}
+	return nf.PredictMapped(t, m, wl, PredictOptions{})
+}
+
+// Classes enumerates the NF's distinct behaviours (§3.5).
+func (nf *NF) Classes() ([]Class, error) { return symexec.Enumerate(nf.Program) }
+
+// PlacementOf converts a mapping into the simulator's placement form.
+func PlacementOf(m *Mapping) Placement {
+	return Placement{
+		StateMem:        m.StateMem,
+		UseFlowCache:    m.UseFlowCache,
+		ChecksumOnAccel: m.ChecksumOnAccel,
+		CryptoOnAccel:   m.CryptoOnAccel,
+		ParseOnEngine:   m.ParseOnEngine,
+	}
+}
+
+// Measure executes the NF under the mapping on the cycle-level simulator
+// against a concrete trace — the "Actual" side of the paper's validation.
+func (nf *NF) Measure(t *Target, m *Mapping, tr *Trace, seed int64) (*Measurement, error) {
+	sim, err := nicsim.New(nicsim.Config{
+		NIC: t, Prog: nf.Program, Place: PlacementOf(m),
+		Preload: nf.Preload, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(tr)
+}
+
+// Microbench recovers the target's performance parameters by running the
+// §3.2 probe suite on the simulator.
+func Microbench(t *Target) (*BenchReport, error) { return microbench.Run(t) }
+
+// HostTarget returns the server-CPU model used as the host side of partial
+// offloading (a Xeon E5-2643-class machine, the paper's testbed).
+func HostTarget() *Target { return lnic.HostX86() }
+
+// DefaultPCIe models a PCIe 3.0 x8 host/NIC interconnect.
+func DefaultPCIe() PCIe { return partial.DefaultPCIe() }
+
+// AnalyzePartial sweeps every NIC-prefix/host-suffix partition of the NF
+// (§6's partial-offloading extension), reporting latency, throughput and
+// energy per cut plus the latency- and energy-optimal choices.
+func AnalyzePartial(nf *NF, t *Target, wl Workload, pcie PCIe) (*PartialAnalysis, error) {
+	classes, err := symexec.Enumerate(nf.Program)
+	if err != nil {
+		return nil, err
+	}
+	symexec.AnnotateGraph(nf.Graph, classes, symexec.WeightsFor(wl))
+	return partial.Analyze(nf.Graph, t, lnic.HostX86(), wl, pcie)
+}
+
+// Advice ranks targets for an NF and workload.
+type Advice struct {
+	Target     string
+	Feasible   bool
+	Reason     string // why infeasible, when Feasible is false
+	MeanCycles float64
+	MeanNanos  float64
+	Throughput float64
+}
+
+// Advise predicts the NF on every built-in target and ranks the feasible
+// ones by latency — the "which SmartNIC model is best suited for her
+// workloads" use case from §1.
+func Advise(nf *NF, wl Workload) ([]Advice, error) {
+	var out []Advice
+	for _, name := range Targets() {
+		t, err := NewTarget(name)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := nf.Predict(t, wl, Hints{})
+		if err != nil {
+			out = append(out, Advice{Target: name, Feasible: false, Reason: err.Error()})
+			continue
+		}
+		out = append(out, Advice{
+			Target:     name,
+			Feasible:   true,
+			MeanCycles: pred.MeanCycles,
+			MeanNanos:  pred.MeanNanos,
+			Throughput: pred.ThroughputPPS,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		return out[i].MeanNanos < out[j].MeanNanos
+	})
+	return out, nil
+}

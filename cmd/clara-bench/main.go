@@ -1,0 +1,55 @@
+// Command clara-bench runs the §3.2 microbenchmark suite against a SmartNIC
+// target (on the bundled cycle-level simulator) and prints the recovered
+// performance parameters next to the profile's databook values, plus the
+// packet-size latency curve with its residency knee:
+//
+//	clara-bench -target netronome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clara"
+	"clara/internal/microbench"
+)
+
+func main() {
+	target := flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
+	curve := flag.Bool("curve", true, "probe the packet-size latency curve and locate the knee")
+	flag.Parse()
+
+	t, err := clara.NewTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := clara.Microbench(t)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+
+	if *curve {
+		sizes := []int{128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096}
+		points, err := microbench.PacketCurve(t, sizes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npacket-size latency curve (per-byte cycles):\n")
+		for _, p := range points {
+			fmt.Printf("  %6dB  %8.2f\n", p.SizeBytes, p.Cycles)
+		}
+		if knee, ok := microbench.Knee(points); ok {
+			fmt.Printf("knee (half-latency rule): ~%dB — packets beyond this spill to the next memory level\n", knee)
+		} else {
+			fmt.Println("no knee detected (flat curve)")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clara-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command clara-sim executes an NF on the cycle-level SmartNIC simulator —
+// the stand-in for benchmarking a manual port on real hardware ("Actual" in
+// the paper's validation). It maps the NF first (optionally with hints) and
+// replays a synthetic or pcap workload:
+//
+//	clara-sim -nf lpm.nf -target netronome -workload "packets=100000,rate=60000"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"clara"
+)
+
+func main() {
+	var (
+		nfPath      = flag.String("nf", "", "NF source file (required)")
+		target      = flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
+		workloadStr = flag.String("workload", "", "traffic spec, e.g. packets=50000,rate=60000,flows=1000,size=300")
+		pcapPath    = flag.String("pcap", "", "replay a pcap trace instead of synthesizing one")
+		seed        = flag.Int64("seed", 11, "simulator seed")
+		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
+		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
+		preload     preloadFlags
+	)
+	flag.Var(&preload, "preload", "pre-install entries into a state, e.g. -preload routes=20000 (repeatable)")
+	flag.Parse()
+
+	if *nfPath == "" {
+		fmt.Fprintln(os.Stderr, "clara-sim: -nf is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	nf, err := clara.LoadNF(*nfPath)
+	if err != nil {
+		fatal(err)
+	}
+	for k, v := range preload.m {
+		nf.Preload[k] = v
+	}
+	t, err := clara.NewTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr *clara.Trace
+	var wl clara.Workload
+	if *pcapPath != "" {
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			fatal(err)
+		}
+		wl, tr, err = clara.WorkloadFromPcap(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		prof, err := clara.ParseTrafficProfile(*workloadStr)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = clara.GenerateTrace(prof)
+		if err != nil {
+			fatal(err)
+		}
+		wl, err = clara.ParseWorkload(*workloadStr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	m, err := nf.Map(t, wl, clara.Hints{DisableFlowCache: *noFlowCache, DisableChecksumAccel: *noCksum})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := nf.Measure(t, m, tr, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %s on %s: %d packets\n", nf.Name(), t.Name, len(res.Packets))
+	fmt.Printf("  mean latency: %.0f cycles (%.0f ns)\n", res.MeanLatency(), t.CyclesToNanos(res.MeanLatency()))
+	fmt.Printf("  p50 / p99:    %.0f / %.0f cycles\n", res.Percentile(50), res.Percentile(99))
+	bd := res.MeanBreakdown()
+	fmt.Printf("  breakdown:    compute=%.0f mem=%.0f accel=%.0f queue=%.0f fixed=%.0f\n",
+		bd.Compute, bd.Mem, bd.Accel, bd.Queue, bd.Fixed)
+	byClass := res.MeanLatencyByClass()
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("  class %-8s %.0f cycles\n", c, byClass[c])
+	}
+	regions := make([]string, 0, len(res.CacheHitRate))
+	for r := range res.CacheHitRate {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		fmt.Printf("  %s cache hit rate: %.1f%%\n", r, res.CacheHitRate[r]*100)
+	}
+	if res.FlowCacheHitRate == res.FlowCacheHitRate { // not NaN
+		fmt.Printf("  flow cache hit rate: %.1f%%\n", res.FlowCacheHitRate*100)
+	}
+	var drops int
+	for i := range res.Packets {
+		if res.Packets[i].Verdict != 0 {
+			drops++
+		}
+	}
+	fmt.Printf("  verdicts: %d pass, %d drop\n", len(res.Packets)-drops, drops)
+}
+
+type preloadFlags struct{ m map[string]int }
+
+func (p *preloadFlags) String() string { return fmt.Sprint(p.m) }
+
+func (p *preloadFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want state=entries, got %q", v)
+	}
+	var n int
+	if _, err := fmt.Sscanf(parts[1], "%d", &n); err != nil {
+		return err
+	}
+	if p.m == nil {
+		p.m = map[string]int{}
+	}
+	p.m[parts[0]] = n
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clara-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command clara-trace synthesizes workload traces and inspects existing
+// ones. Clara accepts either abstract profiles or pcap traces (§3.5); this
+// tool converts between the two so the same workload can drive Clara, the
+// simulator, and external tools:
+//
+//	clara-trace -workload "packets=100000,flows=10000,size=300,rate=60000" -out trace.pcap
+//	clara-trace -stats trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clara"
+)
+
+func main() {
+	var (
+		workloadStr = flag.String("workload", "", "traffic spec to synthesize, e.g. packets=100000,flows=10000,size=300")
+		out         = flag.String("out", "", "write the synthesized trace to this pcap file")
+		statsPath   = flag.String("stats", "", "print statistics of an existing pcap instead")
+	)
+	flag.Parse()
+
+	if *statsPath != "" {
+		f, err := os.Open(*statsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, tr, err := clara.WorkloadFromPcap(f)
+		if err != nil {
+			fatal(err)
+		}
+		st := tr.Stats()
+		fmt.Printf("trace %s: %d packets\n", *statsPath, st.Packets)
+		fmt.Printf("  flows:        %d (reuse %.1f%%)\n", st.Flows, st.FlowHitFraction*100)
+		fmt.Printf("  protocol mix: %.0f%% TCP (%.1f%% SYN)\n", st.TCPFraction*100, st.SYNFraction*100)
+		fmt.Printf("  sizes:        %.0f B payload, %.0f B wire average\n", st.AvgPayload, st.AvgWire)
+		fmt.Printf("  rate:         %.0f pps over %.2f ms\n", st.RatePPS, st.DurationNs/1e6)
+		fmt.Printf("  as expectations: %+v\n", wl)
+		return
+	}
+
+	prof, err := clara.ParseTrafficProfile(*workloadStr)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := clara.GenerateTrace(prof)
+	if err != nil {
+		fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("synthesized %d packets, %d flows, %.0f B avg payload, %.0f pps\n",
+		st.Packets, st.Flows, st.AvgPayload, st.RatePPS)
+	if *out == "" {
+		fmt.Println("(no -out given; nothing written)")
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WritePcap(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clara-trace:", err)
+	os.Exit(1)
+}

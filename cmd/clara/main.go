@@ -1,0 +1,162 @@
+// Command clara analyzes an unported NF source file and predicts its
+// performance on a SmartNIC target — the paper's end-to-end workflow in one
+// invocation:
+//
+//	clara -nf nat.nf -target netronome -workload "flows=10000,rate=60000,size=300"
+//
+// Useful flags: -show-ir prints the lowered CIR, -show-graph the dataflow
+// graph, -show-mapping the solved lowering, -classes the enumerated packet
+// classes, -advise ranks all built-in targets. Hint flags (-no-flowcache,
+// -no-cksum-accel, -no-crypto-accel, -sw-parse, -pin state=region) emulate
+// specific porting strategies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clara"
+)
+
+func main() {
+	var (
+		nfPath      = flag.String("nf", "", "NF source file (required)")
+		target      = flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
+		workloadStr = flag.String("workload", "", "abstract workload spec, e.g. flows=10000,rate=60000,size=300")
+		pcapPath    = flag.String("pcap", "", "derive the workload from a pcap trace instead")
+		showIR      = flag.Bool("show-ir", false, "print the lowered Clara IR")
+		showGraph   = flag.Bool("show-graph", false, "print the dataflow graph")
+		showMapping = flag.Bool("show-mapping", false, "print the solved mapping")
+		showClasses = flag.Bool("classes", false, "print enumerated packet classes")
+		advise      = flag.Bool("advise", false, "rank every built-in target for this NF")
+		partialFlag = flag.Bool("partial", false, "sweep host/NIC partial-offload cuts instead of full-offload prediction")
+		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
+		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
+		noCrypto    = flag.Bool("no-crypto-accel", false, "hint: crypto in software")
+		swParse     = flag.Bool("sw-parse", false, "hint: parse headers on the cores")
+		pins        pinFlags
+	)
+	flag.Var(&pins, "pin", "hint: pin a state to a region, e.g. -pin conns=emem (repeatable)")
+	flag.Parse()
+
+	if *nfPath == "" {
+		fmt.Fprintln(os.Stderr, "clara: -nf is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	nf, err := clara.LoadNF(*nfPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *showIR {
+		fmt.Print(nf.Program.String())
+	}
+	if *showGraph {
+		fmt.Print(nf.Graph.String())
+	}
+	if *showClasses {
+		classes, err := nf.Classes()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("packet classes of %s:\n", nf.Name())
+		for i := range classes {
+			fmt.Printf("  %-28s verdict=%d vcalls=%d\n", classes[i].Name(), classes[i].Verdict, len(classes[i].VCalls))
+		}
+	}
+
+	var wl clara.Workload
+	switch {
+	case *pcapPath != "":
+		f, err := os.Open(*pcapPath)
+		if err != nil {
+			fatal(err)
+		}
+		wl, _, err = clara.WorkloadFromPcap(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		wl, err = clara.ParseWorkload(*workloadStr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *partialFlag {
+		t, err := clara.NewTarget(*target)
+		if err != nil {
+			fatal(err)
+		}
+		an, err := clara.AnalyzePartial(nf, t, wl, clara.DefaultPCIe())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(an.String())
+		return
+	}
+
+	if *advise {
+		advice, err := clara.Advise(nf, wl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("target ranking for %s:\n", nf.Name())
+		for _, a := range advice {
+			if a.Feasible {
+				fmt.Printf("  %-16s %10.0f ns/pkt  %12.0f pps\n", a.Target, a.MeanNanos, a.Throughput)
+			} else {
+				fmt.Printf("  %-16s infeasible: %s\n", a.Target, a.Reason)
+			}
+		}
+		return
+	}
+
+	t, err := clara.NewTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	hints := clara.Hints{
+		DisableFlowCache:     *noFlowCache,
+		DisableChecksumAccel: *noCksum,
+		DisableCryptoAccel:   *noCrypto,
+		SoftwareParse:        *swParse,
+		PinState:             pins.m,
+	}
+	m, err := nf.Map(t, wl, hints)
+	if err != nil {
+		fatal(err)
+	}
+	if *showMapping {
+		fmt.Print(m.Describe(nf.Graph, t))
+	}
+	pred, err := nf.PredictMapped(t, m, wl, clara.PredictOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(pred.String())
+}
+
+type pinFlags struct{ m map[string]string }
+
+func (p *pinFlags) String() string { return fmt.Sprint(p.m) }
+
+func (p *pinFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want state=region, got %q", v)
+	}
+	if p.m == nil {
+		p.m = map[string]string{}
+	}
+	p.m[parts[0]] = parts[1]
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clara:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// A stateful firewall in the Clara NF dialect: established flows pass, TCP
+// SYNs install connection state, everything else drops. Analyze it with:
+//
+//   go run ./cmd/clara -nf examples/firewall.nf -workload "flows=10000,rate=60000,size=300"
+nf firewall {
+	state conns : map<13, 8>[65536];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		if (map_lookup(conns, k)) {
+			emit(0);
+			return pass;
+		}
+		if (parse(tcp) && (field(tcp, flags) & 0x02)) {
+			map_put(conns, k, 1, 0);
+			emit(0);
+			return pass;
+		}
+		return drop;
+	}
+}

@@ -1,0 +1,455 @@
+// Package cir defines the Clara Intermediate Representation (§3.3 of the
+// paper). An unported NF is lowered into CIR: hardware-independent bytecode
+// instructions organized as basic blocks, in which framework-specific API
+// calls (Click handlers, eBPF helpers, DPDK library calls) have been
+// substituted with "virtual calls" (vcalls). Vcalls are bound to concrete
+// SmartNIC components later, during mapping.
+//
+// The package also provides an IR verifier, a reference interpreter (the
+// execution semantics the SmartNIC simulator reuses with timing attached),
+// and dataflow-graph extraction with the pattern matching that coarsens raw
+// basic blocks into semantically meaningful code blocks (header-parse
+// regions, payload loops, table operations).
+package cir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a virtual register. Registers hold 64-bit unsigned values; the
+// NF dialect's narrower integer types are zero-extended into them.
+type Reg int
+
+// NoReg marks instructions that produce no value.
+const NoReg Reg = -1
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op is a CIR opcode. The set intentionally resembles a RISC subset plus a
+// VCall escape hatch: the paper's mapper reasons about instruction classes,
+// not exotic semantics.
+type Op uint8
+
+// CIR opcodes.
+const (
+	OpNop Op = iota
+	// OpConst loads Imm into Dst.
+	OpConst
+	// OpCopy copies Args[0] into Dst.
+	OpCopy
+	// Integer arithmetic: Dst = Args[0] <op> Args[1].
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNot // Dst = ^Args[0]
+	// Comparisons produce 0 or 1.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Floating point (for NFs that use it; many SmartNIC cores lack FPUs and
+	// must emulate these in software — the mapper accounts for that, §3.4).
+	OpFAdd
+	OpFMul
+	OpFDiv
+	// OpLoad/OpStore access NF-local scratch memory (arrays declared in the
+	// NF). Size is the access width in bytes; Args[0] is the address
+	// (element index scaled by the front end), Args[1] the value for stores.
+	OpLoad
+	OpStore
+	// OpVCall invokes the virtual call named by Callee with Args; see the
+	// VCall ABI constants below.
+	OpVCall
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpCopy: "copy",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpLoad: "load", OpStore: "store",
+	OpVCall: "vcall",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by the performance parameter that prices them
+// (§3.2: "a subset of general-purpose compute instructions").
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassALU       // add/sub/logic/compare/copy/const
+	ClassMul
+	ClassDiv
+	ClassFloat // needs FPU or software emulation
+	ClassMem   // local scratch load/store
+	ClassVCall
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassFloat:
+		return "float"
+	case ClassMem:
+		return "mem"
+	case ClassVCall:
+		return "vcall"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ClassOf returns the pricing class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpNop:
+		return ClassNop
+	case OpMul:
+		return ClassMul
+	case OpDiv, OpMod:
+		return ClassDiv
+	case OpFAdd, OpFMul, OpFDiv:
+		return ClassFloat
+	case OpLoad, OpStore:
+		return ClassMem
+	case OpVCall:
+		return ClassVCall
+	default:
+		return ClassALU
+	}
+}
+
+// Instr is one CIR instruction.
+type Instr struct {
+	Op     Op
+	Dst    Reg   // NoReg when the instruction produces no value
+	Args   []Reg // operand registers
+	Imm    uint64
+	Callee string // vcall name, OpVCall only
+	State  string // referenced state object, when the vcall addresses one
+	Size   int    // access width for OpLoad/OpStore, bytes
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, "%s = ", in.Dst)
+	}
+	b.WriteString(in.Op.String())
+	if in.Op == OpVCall {
+		fmt.Fprintf(&b, " %s", in.Callee)
+		if in.State != "" {
+			fmt.Fprintf(&b, "[%s]", in.State)
+		}
+	}
+	if in.Op == OpConst {
+		fmt.Fprintf(&b, " %d", in.Imm)
+	}
+	for _, a := range in.Args {
+		fmt.Fprintf(&b, " %s", a)
+	}
+	if in.Op == OpLoad || in.Op == OpStore {
+		fmt.Fprintf(&b, " sz=%d", in.Size)
+	}
+	return b.String()
+}
+
+// TermKind distinguishes block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermJump TermKind = iota
+	TermBranch
+	TermReturn
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind TermKind
+	Cond Reg // TermBranch: branch on Cond != 0
+	Then int // target block index (TermJump uses Then)
+	Else int
+	Ret  Reg // TermReturn: verdict register, NoReg for implicit pass
+}
+
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jump b%d", t.Then)
+	case TermBranch:
+		return fmt.Sprintf("branch %s ? b%d : b%d", t.Cond, t.Then, t.Else)
+	case TermReturn:
+		if t.Ret == NoReg {
+			return "return"
+		}
+		return fmt.Sprintf("return %s", t.Ret)
+	default:
+		return "term(?)"
+	}
+}
+
+// Block is a basic block: a branch-free instruction sequence plus one
+// terminator, exactly the granularity LLVM reports (§3.3).
+type Block struct {
+	Label  string
+	Instrs []Instr
+	Term   Terminator
+}
+
+// StateKind classifies NF state objects. The mapper's memory constraints Γ
+// place each object into an LNIC memory region (§3.4).
+type StateKind uint8
+
+// State object kinds.
+const (
+	StateMap     StateKind = iota // exact-match key/value table
+	StateLPM                      // longest-prefix-match table
+	StateArray                    // direct-indexed array
+	StateSketch                   // count-min sketch (heavy hitters)
+	StatePattern                  // DPI pattern set (read-only automaton)
+)
+
+func (k StateKind) String() string {
+	switch k {
+	case StateMap:
+		return "map"
+	case StateLPM:
+		return "lpm"
+	case StateArray:
+		return "array"
+	case StateSketch:
+		return "sketch"
+	case StatePattern:
+		return "pattern"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(k))
+	}
+}
+
+// StateObj describes one piece of NF state.
+type StateObj struct {
+	Name      string
+	Kind      StateKind
+	KeySize   int // bytes per key
+	ValueSize int // bytes per value/entry
+	Capacity  int // number of entries the NF declares
+	ReadOnly  bool
+}
+
+// Bytes returns the total footprint used by the memory-placement constraints.
+func (s StateObj) Bytes() int {
+	per := s.KeySize + s.ValueSize
+	if per == 0 {
+		per = 1
+	}
+	return per * s.Capacity
+}
+
+// Program is a lowered NF: its packet-handler function body plus state.
+type Program struct {
+	Name    string
+	Blocks  []Block
+	State   []StateObj
+	NumRegs int
+	// ScratchBytes is the NF's local scratch footprint (stack arrays); the
+	// front end lays local arrays out in this space for OpLoad/OpStore.
+	ScratchBytes int
+	// Patterns holds DPI pattern strings per StatePattern object name; the
+	// simulator builds its Aho-Corasick automaton from these, and the cost
+	// model uses their count and lengths.
+	Patterns map[string][]string
+}
+
+// Clone returns a deep copy of the program (optimization passes mutate in
+// place; callers wanting before/after comparisons copy first).
+func (p *Program) Clone() *Program {
+	q := *p
+	q.Blocks = make([]Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		nb := b
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for j, in := range b.Instrs {
+			ni := in
+			ni.Args = append([]Reg(nil), in.Args...)
+			nb.Instrs[j] = ni
+		}
+		q.Blocks[i] = nb
+	}
+	q.State = append([]StateObj(nil), p.State...)
+	q.Patterns = map[string][]string{}
+	for k, v := range p.Patterns {
+		q.Patterns[k] = append([]string(nil), v...)
+	}
+	return &q
+}
+
+// StateByName returns the named state object.
+func (p *Program) StateByName(name string) (StateObj, bool) {
+	for _, s := range p.State {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StateObj{}, false
+}
+
+// String renders the program as readable IR assembly.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (%d regs)\n", p.Name, p.NumRegs)
+	for _, s := range p.State {
+		fmt.Fprintf(&b, "  state %s %s key=%dB val=%dB cap=%d (%dB)\n",
+			s.Name, s.Kind, s.KeySize, s.ValueSize, s.Capacity, s.Bytes())
+	}
+	for i, blk := range p.Blocks {
+		label := blk.Label
+		if label == "" {
+			label = fmt.Sprintf("b%d", i)
+		}
+		fmt.Fprintf(&b, "%s:\n", label)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+		fmt.Fprintf(&b, "  %s\n", blk.Term)
+	}
+	return b.String()
+}
+
+// Verdict values returned by a packet handler.
+const (
+	VerdictPass uint64 = 0
+	VerdictDrop uint64 = 1
+)
+
+// Virtual call names — the vcall ABI. The front end substitutes framework
+// API calls with these (§3.3's 'network_header' → 'vcall_get_hdr' example);
+// the mapper binds each to LNIC components and the simulator implements
+// their semantics.
+const (
+	VCGetHdr      = "get_hdr"      // (proto) → 1 if header present; marks it parsed
+	VCHdrField    = "hdr_field"    // (proto, field) → field value
+	VCSetField    = "set_field"    // (proto, field, value); metadata/header modification
+	VCPayloadLen  = "payload_len"  // () → payload byte count
+	VCPayloadByte = "payload_byte" // (i) → payload[i]
+	VCChecksum    = "checksum_pkt" // (proto) → recompute L4 checksum over payload
+	VCCksumUpdate = "cksum_update" // (proto, old, new) → incremental checksum fix
+	VCFlowKey     = "flow_key"     // () → opaque key handle for the packet 5-tuple
+	VCMapLookup   = "map_lookup"   // [state](key) → 1 if found; latches entry
+	VCMapGet      = "map_get"      // [state](fieldIdx) → field of latched entry
+	VCMapPut      = "map_put"      // [state](key, v0, v1) → insert/update
+	VCMapDelete   = "map_delete"   // [state](key)
+	VCMapIncr     = "map_incr"     // [state](key, fieldIdx, delta) → new value
+	VCLPMLookup   = "lpm_lookup"   // [state](ipv4) → next hop, or ^0 on miss
+	VCArrRead     = "arr_read"     // [state](idx) → element value
+	VCArrWrite    = "arr_write"    // [state](idx, v)
+	VCSketchAdd   = "sketch_add"   // [state](key) → estimated count after add
+	VCSketchRead  = "sketch_read"  // [state](key) → estimated count
+	VCDPIScan     = "dpi_scan"     // [state]() → number of pattern matches in payload
+	VCCrypto      = "crypto"       // (op, len) → 0; AES-class work over len bytes
+	VCHash        = "hash"         // (x) → 64-bit mix; priced as ALU burst
+	VCNow         = "now"          // () → current time in cycles
+	VCRandom      = "random"       // () → pseudo-random value (deterministic per packet)
+	VCEmit        = "emit"         // (port); queue packet to egress port
+)
+
+// Header protocol identifiers used by VCGetHdr/VCHdrField/VCSetField.
+const (
+	ProtoEth uint64 = iota
+	ProtoIPv4
+	ProtoIPv6
+	ProtoTCP
+	ProtoUDP
+	ProtoICMP
+)
+
+// Header field identifiers for VCHdrField/VCSetField. Field meaning depends
+// on the proto operand.
+const (
+	FieldSrcAddr uint64 = iota // IPv4 src (or low 64 bits of IPv6 src)
+	FieldDstAddr
+	FieldSrcPort
+	FieldDstPort
+	FieldProto   // IPv4 protocol / IPv6 next header
+	FieldTTL     // TTL / hop limit
+	FieldLen     // total length field
+	FieldFlags   // TCP flags
+	FieldTOS     // IPv4 TOS / IPv6 traffic class
+	FieldID      // IPv4 identification
+	FieldSeq     // TCP sequence number
+	FieldAck     // TCP acknowledgment number
+	FieldWindow  // TCP window
+	FieldEthType // EtherType
+)
+
+// VCallInfo captures static properties of a vcall the mapper needs.
+type VCallInfo struct {
+	// StateRef is true when the call addresses a state object (table ops).
+	StateRef bool
+	// PayloadScaled is true when the call's cost grows with payload size.
+	PayloadScaled bool
+	// Parse is true for header-parsing calls.
+	Parse bool
+	// Accelerable names the accelerator class that can execute this call
+	// natively ("" when only general-purpose cores can).
+	Accelerable string
+}
+
+// VCalls is the vcall catalog.
+var VCalls = map[string]VCallInfo{
+	VCGetHdr:      {Parse: true},
+	VCHdrField:    {},
+	VCSetField:    {},
+	VCPayloadLen:  {},
+	VCPayloadByte: {},
+	VCChecksum:    {PayloadScaled: true, Accelerable: "checksum"},
+	VCCksumUpdate: {},
+	VCFlowKey:     {},
+	VCMapLookup:   {StateRef: true, Accelerable: "flowcache"},
+	VCMapGet:      {StateRef: true},
+	VCMapPut:      {StateRef: true},
+	VCMapDelete:   {StateRef: true},
+	VCMapIncr:     {StateRef: true},
+	VCLPMLookup:   {StateRef: true, Accelerable: "flowcache"},
+	VCArrRead:     {StateRef: true},
+	VCArrWrite:    {StateRef: true},
+	VCSketchAdd:   {StateRef: true},
+	VCSketchRead:  {StateRef: true},
+	VCDPIScan:     {StateRef: true, PayloadScaled: true},
+	VCCrypto:      {Accelerable: "crypto"},
+	VCHash:        {},
+	VCNow:         {},
+	VCRandom:      {},
+	VCEmit:        {},
+}

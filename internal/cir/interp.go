@@ -1,0 +1,222 @@
+package cir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Env supplies the semantics of virtual calls during interpretation. The
+// SmartNIC simulator implements it with real packet bytes, flow tables and
+// accelerator models; tests implement it with stubs.
+type Env interface {
+	// VCall executes the vcall with evaluated arguments, returning the
+	// result value (ignored when the instruction has no destination).
+	VCall(in Instr, args []uint64) (uint64, error)
+}
+
+// Hooks observe execution. Either hook may be nil. The simulator uses them
+// to charge cycle costs per instruction and per block.
+type Hooks struct {
+	// OnInstr runs before each instruction executes.
+	OnInstr func(block int, in *Instr)
+	// OnBlock runs when control enters a block.
+	OnBlock func(block int)
+	// MaxSteps bounds total instructions executed (0 means the default of
+	// one million), guarding against non-terminating NF loops.
+	MaxSteps int
+}
+
+// Interp executes programs. It is reusable across packets: registers and
+// scratch memory are re-zeroed on each Run, while Env-held state (flow
+// tables) persists, matching NF semantics where per-packet locals are fresh
+// but state is durable.
+type Interp struct {
+	prog    *Program
+	regs    []uint64
+	scratch []byte
+}
+
+// ErrStepLimit reports a runaway execution.
+var ErrStepLimit = errors.New("cir: step limit exceeded")
+
+// NewInterp prepares an interpreter for p.
+func NewInterp(p *Program) *Interp {
+	return &Interp{
+		prog:    p,
+		regs:    make([]uint64, p.NumRegs),
+		scratch: make([]byte, p.ScratchBytes),
+	}
+}
+
+// Reg returns the current value of a register (for tests).
+func (it *Interp) Reg(r Reg) uint64 { return it.regs[r] }
+
+// Run executes the program for one packet and returns the verdict.
+func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
+	for i := range it.regs {
+		it.regs[i] = 0
+	}
+	for i := range it.scratch {
+		it.scratch[i] = 0
+	}
+	maxSteps := 1_000_000
+	if h != nil && h.MaxSteps > 0 {
+		maxSteps = h.MaxSteps
+	}
+	steps := 0
+	bi := 0
+	for {
+		// Block entries count against the budget too: an empty
+		// self-looping block (possible after optimization) must still trip
+		// the limit.
+		steps++
+		if steps > maxSteps {
+			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
+		}
+		if h != nil && h.OnBlock != nil {
+			h.OnBlock(bi)
+		}
+		blk := &it.prog.Blocks[bi]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			steps++
+			if steps > maxSteps {
+				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
+			}
+			if h != nil && h.OnInstr != nil {
+				h.OnInstr(bi, in)
+			}
+			if err := it.step(in, env); err != nil {
+				return 0, fmt.Errorf("cir: block %d %q: %w", bi, in.String(), err)
+			}
+		}
+		t := blk.Term
+		switch t.Kind {
+		case TermJump:
+			bi = t.Then
+		case TermBranch:
+			if it.regs[t.Cond] != 0 {
+				bi = t.Then
+			} else {
+				bi = t.Else
+			}
+		case TermReturn:
+			if t.Ret == NoReg {
+				return VerdictPass, nil
+			}
+			return it.regs[t.Ret], nil
+		}
+	}
+}
+
+func (it *Interp) step(in *Instr, env Env) error {
+	arg := func(i int) uint64 { return it.regs[in.Args[i]] }
+	set := func(v uint64) {
+		if in.Dst != NoReg {
+			it.regs[in.Dst] = v
+		}
+	}
+	switch in.Op {
+	case OpNop:
+	case OpConst:
+		set(in.Imm)
+	case OpCopy:
+		set(arg(0))
+	case OpAdd:
+		set(arg(0) + arg(1))
+	case OpSub:
+		set(arg(0) - arg(1))
+	case OpMul:
+		set(arg(0) * arg(1))
+	case OpDiv:
+		if arg(1) == 0 {
+			return errors.New("division by zero")
+		}
+		set(arg(0) / arg(1))
+	case OpMod:
+		if arg(1) == 0 {
+			return errors.New("modulo by zero")
+		}
+		set(arg(0) % arg(1))
+	case OpAnd:
+		set(arg(0) & arg(1))
+	case OpOr:
+		set(arg(0) | arg(1))
+	case OpXor:
+		set(arg(0) ^ arg(1))
+	case OpShl:
+		set(arg(0) << (arg(1) & 63))
+	case OpShr:
+		set(arg(0) >> (arg(1) & 63))
+	case OpNot:
+		set(^arg(0))
+	case OpEq:
+		set(b2u(arg(0) == arg(1)))
+	case OpNe:
+		set(b2u(arg(0) != arg(1)))
+	case OpLt:
+		set(b2u(arg(0) < arg(1)))
+	case OpLe:
+		set(b2u(arg(0) <= arg(1)))
+	case OpGt:
+		set(b2u(arg(0) > arg(1)))
+	case OpGe:
+		set(b2u(arg(0) >= arg(1)))
+	case OpFAdd:
+		set(math.Float64bits(math.Float64frombits(arg(0)) + math.Float64frombits(arg(1))))
+	case OpFMul:
+		set(math.Float64bits(math.Float64frombits(arg(0)) * math.Float64frombits(arg(1))))
+	case OpFDiv:
+		set(math.Float64bits(math.Float64frombits(arg(0)) / math.Float64frombits(arg(1))))
+	case OpLoad:
+		v, err := it.loadScratch(arg(0), in.Size)
+		if err != nil {
+			return err
+		}
+		set(v)
+	case OpStore:
+		return it.storeScratch(arg(0), arg(1), in.Size)
+	case OpVCall:
+		args := make([]uint64, len(in.Args))
+		for i := range in.Args {
+			args[i] = arg(i)
+		}
+		v, err := env.VCall(*in, args)
+		if err != nil {
+			return err
+		}
+		set(v)
+	default:
+		return fmt.Errorf("unknown opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (it *Interp) loadScratch(addr uint64, size int) (uint64, error) {
+	if addr+uint64(size) > uint64(len(it.scratch)) {
+		return 0, fmt.Errorf("scratch load out of bounds: addr=%d size=%d len=%d", addr, size, len(it.scratch))
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(it.scratch[addr+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (it *Interp) storeScratch(addr, val uint64, size int) error {
+	if addr+uint64(size) > uint64(len(it.scratch)) {
+		return fmt.Errorf("scratch store out of bounds: addr=%d size=%d len=%d", addr, size, len(it.scratch))
+	}
+	for i := 0; i < size; i++ {
+		it.scratch[addr+uint64(i)] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

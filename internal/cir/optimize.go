@@ -1,0 +1,242 @@
+package cir
+
+// Optimize performs the classical cleanup passes a compiler would run
+// before lowering — Clara "mimics a compiler" (§2.3), and front ends emit
+// redundant constants and copies that would otherwise inflate the mapper's
+// per-block instruction counts (and so its cost estimates):
+//
+//   - local constant folding and copy propagation (block-scoped: CIR is not
+//     SSA, so facts never cross block boundaries),
+//   - branch-to-jump simplification when the condition is a known constant,
+//   - unreachable-block elimination (re-using the builder's pass),
+//   - global conservative dead-code elimination: pure instructions whose
+//     destination register is never read anywhere are dropped.
+//
+// It mutates p in place and returns the number of changes applied. The
+// program remains verifiable after every pass.
+func Optimize(p *Program) int {
+	changes := 0
+	for {
+		n := foldConstants(p)
+		n += simplifyBranches(p)
+		n += eliminateDead(p)
+		if n == 0 {
+			break
+		}
+		changes += n
+	}
+	return changes
+}
+
+// foldConstants propagates constants and copies within each block.
+func foldConstants(p *Program) int {
+	changes := 0
+	for bi := range p.Blocks {
+		blk := &p.Blocks[bi]
+		consts := map[Reg]uint64{}
+		copies := map[Reg]Reg{}
+		invalidate := func(r Reg) {
+			delete(consts, r)
+			// Any copy alias involving r dies too.
+			for dst, src := range copies {
+				if dst == r || src == r {
+					delete(copies, dst)
+				}
+			}
+		}
+		resolve := func(r Reg) Reg {
+			if src, ok := copies[r]; ok {
+				return src
+			}
+			return r
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			// Rewrite operands through copy chains first.
+			for ai, a := range in.Args {
+				in.Args[ai] = resolve(a)
+				if in.Args[ai] != a {
+					changes++
+				}
+			}
+			switch in.Op {
+			case OpConst:
+				invalidate(in.Dst)
+				consts[in.Dst] = in.Imm
+				continue
+			case OpCopy:
+				src := in.Args[0]
+				if v, ok := consts[src]; ok {
+					in.Op = OpConst
+					in.Imm = v
+					in.Args = nil
+					invalidate(in.Dst)
+					consts[in.Dst] = v
+					changes++
+					continue
+				}
+				invalidate(in.Dst)
+				if src != in.Dst {
+					copies[in.Dst] = src
+				}
+				continue
+			}
+			// Try to fold pure two-operand ops over known constants.
+			if folded, ok := tryFold(in, consts); ok {
+				in.Op = OpConst
+				in.Imm = folded
+				in.Args = nil
+				invalidate(in.Dst)
+				consts[in.Dst] = folded
+				changes++
+				continue
+			}
+			if in.Dst != NoReg {
+				invalidate(in.Dst)
+			}
+		}
+		// Fold a constant branch condition into the terminator.
+		if blk.Term.Kind == TermBranch {
+			if v, ok := consts[blk.Term.Cond]; ok {
+				target := blk.Term.Else
+				if v != 0 {
+					target = blk.Term.Then
+				}
+				blk.Term = Terminator{Kind: TermJump, Then: target}
+				changes++
+			}
+		}
+	}
+	return changes
+}
+
+// tryFold evaluates a side-effect-free integer op whose operands are all
+// known constants. Division and modulo by a constant zero are left in place
+// so the runtime error is preserved.
+func tryFold(in *Instr, consts map[Reg]uint64) (uint64, bool) {
+	if in.Dst == NoReg {
+		return 0, false
+	}
+	get := func(i int) (uint64, bool) {
+		v, ok := consts[in.Args[i]]
+		return v, ok
+	}
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case OpNot:
+		if x, ok := get(0); ok {
+			return ^x, true
+		}
+		return 0, false
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		x, okx := get(0)
+		y, oky := get(1)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch in.Op {
+		case OpAdd:
+			return x + y, true
+		case OpSub:
+			return x - y, true
+		case OpMul:
+			return x * y, true
+		case OpDiv:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case OpMod:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case OpAnd:
+			return x & y, true
+		case OpOr:
+			return x | y, true
+		case OpXor:
+			return x ^ y, true
+		case OpShl:
+			return x << (y & 63), true
+		case OpShr:
+			return x >> (y & 63), true
+		case OpEq:
+			return b2u(x == y), true
+		case OpNe:
+			return b2u(x != y), true
+		case OpLt:
+			return b2u(x < y), true
+		case OpLe:
+			return b2u(x <= y), true
+		case OpGt:
+			return b2u(x > y), true
+		case OpGe:
+			return b2u(x >= y), true
+		}
+	}
+	return 0, false
+}
+
+// simplifyBranches removes blocks made unreachable by folded branches and
+// collapses branch terminators whose arms coincide.
+func simplifyBranches(p *Program) int {
+	changes := 0
+	for bi := range p.Blocks {
+		t := &p.Blocks[bi].Term
+		if t.Kind == TermBranch && t.Then == t.Else {
+			*t = Terminator{Kind: TermJump, Then: t.Then}
+			changes++
+		}
+	}
+	before := len(p.Blocks)
+	removeUnreachable(p)
+	return changes + (before - len(p.Blocks))
+}
+
+// eliminateDead removes pure instructions whose destination is never read
+// by any instruction or terminator in the whole program. Reads are
+// recomputed each sweep, so chains of dead definitions unravel over the
+// Optimize fixpoint loop.
+func eliminateDead(p *Program) int {
+	read := map[Reg]bool{}
+	for bi := range p.Blocks {
+		for ii := range p.Blocks[bi].Instrs {
+			for _, a := range p.Blocks[bi].Instrs[ii].Args {
+				read[a] = true
+			}
+		}
+		t := p.Blocks[bi].Term
+		if t.Kind == TermBranch {
+			read[t.Cond] = true
+		}
+		if t.Kind == TermReturn && t.Ret != NoReg {
+			read[t.Ret] = true
+		}
+	}
+	changes := 0
+	for bi := range p.Blocks {
+		blk := &p.Blocks[bi]
+		kept := blk.Instrs[:0]
+		for _, in := range blk.Instrs {
+			pure := in.Op != OpVCall && in.Op != OpStore && in.Op != OpNop
+			if pure && in.Dst != NoReg && !read[in.Dst] {
+				changes++
+				continue
+			}
+			if in.Op == OpNop {
+				changes++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		blk.Instrs = kept
+	}
+	return changes
+}

@@ -1,0 +1,173 @@
+package cir
+
+import "fmt"
+
+// Verify checks structural invariants of a program: branch targets in range,
+// registers within NumRegs, vcalls known, state references declared, and the
+// argument arity rules of each opcode. It is run on every program produced
+// by the builder and the front end.
+func Verify(p *Program) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("cir: program %s has no blocks", p.Name)
+	}
+	states := map[string]StateObj{}
+	for _, s := range p.State {
+		if _, dup := states[s.Name]; dup {
+			return fmt.Errorf("cir: duplicate state object %q", s.Name)
+		}
+		if s.Capacity < 0 || s.KeySize < 0 || s.ValueSize < 0 {
+			return fmt.Errorf("cir: state %q has negative geometry", s.Name)
+		}
+		states[s.Name] = s
+	}
+	checkReg := func(r Reg, where string) error {
+		if r == NoReg {
+			return nil
+		}
+		if int(r) < 0 || int(r) >= p.NumRegs {
+			return fmt.Errorf("cir: %s: register %s out of range (NumRegs=%d)", where, r, p.NumRegs)
+		}
+		return nil
+	}
+	for bi, blk := range p.Blocks {
+		for ii, in := range blk.Instrs {
+			where := fmt.Sprintf("block %d instr %d (%s)", bi, ii, in)
+			if err := checkReg(in.Dst, where); err != nil {
+				return err
+			}
+			for _, a := range in.Args {
+				if a == NoReg {
+					return fmt.Errorf("cir: %s: NoReg used as operand", where)
+				}
+				if err := checkReg(a, where); err != nil {
+					return err
+				}
+			}
+			if err := checkArity(in, where); err != nil {
+				return err
+			}
+			if in.Op == OpVCall {
+				info, ok := VCalls[in.Callee]
+				if !ok {
+					return fmt.Errorf("cir: %s: unknown vcall %q", where, in.Callee)
+				}
+				if info.StateRef {
+					if in.State == "" {
+						return fmt.Errorf("cir: %s: vcall %s requires a state reference", where, in.Callee)
+					}
+					if _, ok := states[in.State]; !ok {
+						return fmt.Errorf("cir: %s: vcall references undeclared state %q", where, in.State)
+					}
+				} else if in.State != "" {
+					return fmt.Errorf("cir: %s: vcall %s must not reference state", where, in.Callee)
+				}
+			} else if in.Callee != "" || in.State != "" {
+				return fmt.Errorf("cir: %s: non-vcall carries callee/state", where)
+			}
+		}
+		t := blk.Term
+		switch t.Kind {
+		case TermJump:
+			if t.Then < 0 || t.Then >= len(p.Blocks) {
+				return fmt.Errorf("cir: block %d jump target %d out of range", bi, t.Then)
+			}
+		case TermBranch:
+			if t.Then < 0 || t.Then >= len(p.Blocks) || t.Else < 0 || t.Else >= len(p.Blocks) {
+				return fmt.Errorf("cir: block %d branch targets (%d,%d) out of range", bi, t.Then, t.Else)
+			}
+			if err := checkReg(t.Cond, fmt.Sprintf("block %d terminator", bi)); err != nil {
+				return err
+			}
+			if t.Cond == NoReg {
+				return fmt.Errorf("cir: block %d branch without condition register", bi)
+			}
+		case TermReturn:
+			if err := checkReg(t.Ret, fmt.Sprintf("block %d terminator", bi)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cir: block %d has invalid terminator kind %d", bi, t.Kind)
+		}
+	}
+	if !allReachable(p) {
+		return fmt.Errorf("cir: program %s has unreachable blocks", p.Name)
+	}
+	return nil
+}
+
+func checkArity(in Instr, where string) error {
+	want := -1 // -1: no fixed arity
+	switch in.Op {
+	case OpNop:
+		want = 0
+	case OpConst:
+		want = 0
+	case OpCopy, OpNot:
+		want = 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpFAdd, OpFMul, OpFDiv:
+		want = 2
+	case OpLoad:
+		want = 1
+	case OpStore:
+		want = 2
+	case OpVCall:
+		return nil
+	}
+	if want >= 0 && len(in.Args) != want {
+		return fmt.Errorf("cir: %s: %s wants %d args, has %d", where, in.Op, want, len(in.Args))
+	}
+	if (in.Op == OpLoad || in.Op == OpStore) && in.Size != 1 && in.Size != 2 && in.Size != 4 && in.Size != 8 {
+		return fmt.Errorf("cir: %s: invalid access size %d", where, in.Size)
+	}
+	if in.Op == OpStore && in.Dst != NoReg {
+		return fmt.Errorf("cir: %s: store must not produce a value", where)
+	}
+	return nil
+}
+
+func allReachable(p *Program) bool {
+	seen := make([]bool, len(p.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := p.Blocks[b].Term
+		var succs []int
+		switch t.Kind {
+		case TermJump:
+			succs = []int{t.Then}
+		case TermBranch:
+			succs = []int{t.Then, t.Else}
+		}
+		for _, s := range succs {
+			if s >= 0 && s < len(seen) && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Successors returns the successor block indices of block bi.
+func (p *Program) Successors(bi int) []int {
+	t := p.Blocks[bi].Term
+	switch t.Kind {
+	case TermJump:
+		return []int{t.Then}
+	case TermBranch:
+		if t.Then == t.Else {
+			return []int{t.Then}
+		}
+		return []int{t.Then, t.Else}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,312 @@
+package eval
+
+import (
+	"testing"
+
+	"clara/internal/cir"
+)
+
+// Small traces keep the experiment suite fast in CI; the shapes asserted
+// here hold at paper-scale packet counts too (cmd/clara-eval -packets).
+var testCfg = Config{Packets: 1200, Seed: 11}
+
+func TestFig1Shapes(t *testing.T) {
+	rows, err := Fig1(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNF := map[string][]VariantRow{}
+	for _, r := range rows {
+		byNF[r.NF] = append(byNF[r.NF], r)
+	}
+	// Five NFs, 2–4 variants each (paper's setup).
+	if len(byNF) != 5 {
+		t.Fatalf("NFs = %d, want 5", len(byNF))
+	}
+	for name, vs := range byNF {
+		if len(vs) < 2 || len(vs) > 4 {
+			t.Errorf("%s has %d variants, want 2..4", name, len(vs))
+		}
+		minSeen := false
+		for _, v := range vs {
+			if v.Normalized < 1-1e-9 {
+				t.Errorf("%s/%s normalized %.2f < 1", name, v.Variant, v.Normalized)
+			}
+			if v.Normalized < 1+1e-9 {
+				minSeen = true
+			}
+		}
+		if !minSeen {
+			t.Errorf("%s has no 1.0x baseline", name)
+		}
+	}
+	// Key orderings from the paper's caption.
+	get := func(nfName, variant string) float64 {
+		for _, v := range byNF[nfName] {
+			if v.Variant == variant {
+				return v.Cycles
+			}
+		}
+		t.Fatalf("%s/%s missing", nfName, variant)
+		return 0
+	}
+	if !(get("NAT", "cksum-accel") < get("NAT", "cksum-sw")) {
+		t.Error("NAT: accelerator variant should be faster")
+	}
+	if !(get("DPI", "64B") < get("DPI", "512B") && get("DPI", "512B") < get("DPI", "1400B")) {
+		t.Error("DPI: latency should grow with packet size")
+	}
+	if !(get("FW", "state-ctm") < get("FW", "state-imem")) {
+		t.Error("FW: CTM state should beat IMEM state")
+	}
+	if !(get("LPM", "5k-flowcache") < get("LPM", "5k-rules")) {
+		t.Error("LPM: flow cache should win")
+	}
+	if !(get("LPM", "5k-rules") < get("LPM", "30k-rules")) {
+		t.Error("LPM: more rules should cost more")
+	}
+	if !(get("HH", "10kpps") <= get("HH", "240kpps")) {
+		t.Error("HH: higher rate should not be faster")
+	}
+	// Overall spread should reach the order of magnitude the paper shows.
+	maxNorm := 0.0
+	for _, r := range rows {
+		if r.Normalized > maxNorm {
+			maxNorm = r.Normalized
+		}
+	}
+	if maxNorm < 4 {
+		t.Errorf("max spread %.1fx; paper shows up to 13.8x", maxNorm)
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	points, err := Fig3a(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6 (5k..30k step 5k)", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Actual <= points[i-1].Actual {
+			t.Errorf("actual latency not increasing at %d entries", points[i].X)
+		}
+		if points[i].Predicted <= points[i-1].Predicted {
+			t.Errorf("predicted latency not increasing at %d entries", points[i].X)
+		}
+	}
+	// Within the paper's error ballpark at every point.
+	for _, p := range points {
+		if p.RelErr > 0.30 {
+			t.Errorf("entries=%d err=%.0f%%", p.X, p.RelErr*100)
+		}
+	}
+	// Magnitude: the 30k point should reach the hundreds-of-K-cycles range.
+	if last := points[len(points)-1]; last.Actual < 100_000 {
+		t.Errorf("30k-entry LPM = %.0f cycles; paper's panel reaches ~1000 K cycles", last.Actual)
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	points, err := Fig3b(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("points = %d, want 7 (200..1400 step 200)", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Actual <= points[i-1].Actual {
+			t.Errorf("actual latency not increasing at %dB", points[i].X)
+		}
+	}
+	for _, p := range points {
+		if p.RelErr > 0.30 {
+			t.Errorf("payload=%d err=%.0f%%", p.X, p.RelErr*100)
+		}
+	}
+}
+
+func TestFig3cShape(t *testing.T) {
+	points, err := Fig3c(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// NAT latency grows with payload (checksum work) but stays in the
+	// thousands of cycles — the paper's panel runs 5000..11000 cycles.
+	if points[0].Actual > points[len(points)-1].Actual {
+		t.Error("NAT latency should grow with payload")
+	}
+	for _, p := range points {
+		if p.Actual < 100 || p.Actual > 50_000 {
+			t.Errorf("payload=%d actual=%.0f cycles out of plausible range", p.X, p.Actual)
+		}
+		if p.RelErr > 0.30 {
+			t.Errorf("payload=%d err=%.0f%%", p.X, p.RelErr*100)
+		}
+	}
+}
+
+func TestAccuracyTable(t *testing.T) {
+	rows, err := Accuracy(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanErr > 0.30 {
+			t.Errorf("%s mean error %.0f%% exceeds 30%%", r.NF, r.MeanErr*100)
+		}
+	}
+}
+
+func TestCksumGap(t *testing.T) {
+	gap, err := Cksum(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.ExtraCycles < 800 {
+		t.Errorf("software checksum penalty = %.0f cycles, want ≥800 (paper: ~1700)", gap.ExtraCycles)
+	}
+	if gap.AccelCycles >= gap.SWCycles {
+		t.Error("accelerated NAT not faster")
+	}
+}
+
+func TestClassesProfile(t *testing.T) {
+	rows, err := Classes(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syn, est float64
+	for _, r := range rows {
+		switch r.Class {
+		case "tcp+syn+new":
+			syn = r.Predicted
+		case "tcp+seen":
+			est = r.Predicted
+		}
+	}
+	if syn == 0 || est == 0 {
+		t.Fatalf("classes missing: %+v", rows)
+	}
+	if syn <= est {
+		t.Errorf("SYN %.0f ≤ established %.0f (paper §3.5 expects SYN slower)", syn, est)
+	}
+}
+
+func TestInterference(t *testing.T) {
+	rows, err := Interference(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SharedPPS > r.SoloThroughput {
+			t.Errorf("%s: shared throughput %.0f exceeds solo %.0f", r.NF, r.SharedPPS, r.SoloThroughput)
+		}
+	}
+}
+
+func TestILPvsGreedy(t *testing.T) {
+	rows, err := ILPvsGreedy(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyBetter := false
+	for _, r := range rows {
+		if r.GreedyCycles < r.ILPCycles-1e-6 {
+			t.Errorf("%s: greedy %.0f beat ILP %.0f", r.NF, r.GreedyCycles, r.ILPCycles)
+		}
+		if r.ILPCycles < r.GreedyCycles-1e-6 {
+			anyBetter = true
+		}
+	}
+	if !anyBetter {
+		t.Error("ILP never beat greedy on any NF — the solver buys nothing?")
+	}
+}
+
+func TestQueueAware(t *testing.T) {
+	q, err := QueueAware(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errWith := relErr(q.WithQueueing, q.Actual)
+	errWithout := relErr(q.QueueFreeOnly, q.Actual)
+	t.Logf("queue-aware err %.1f%% vs queue-free %.1f%%", errWith*100, errWithout*100)
+	if q.WithQueueing <= q.QueueFreeOnly {
+		t.Error("queueing correction added nothing at 2Mpps")
+	}
+}
+
+func relErr(p, a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	d := p - a
+	if d < 0 {
+		d = -d
+	}
+	return d / a
+}
+
+func TestFormatters(t *testing.T) {
+	rows := []VariantRow{{NF: "NAT", Variant: "x", Cycles: 100, Normalized: 1}}
+	if FormatFig1(rows) == "" {
+		t.Error("empty fig1 format")
+	}
+	pts := []SweepPoint{{X: 5000, Predicted: 1000, Actual: 1100, RelErr: 0.1}}
+	if FormatSweep("t", "x", pts, true) == "" {
+		t.Error("empty sweep format")
+	}
+	acc := []AccuracyRow{{NF: "LPM", MeanErr: 0.1, PaperErr: 0.12}}
+	if FormatAccuracy(acc) == "" {
+		t.Error("empty accuracy format")
+	}
+}
+
+func TestVerdictsSane(t *testing.T) {
+	rows, err := Classes(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Verdict != cir.VerdictPass && r.Verdict != cir.VerdictDrop {
+			t.Errorf("class %s verdict %d", r.Class, r.Verdict)
+		}
+	}
+}
+
+func TestPartialExperiment(t *testing.T) {
+	rows, err := Partial(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BestNanos <= 0 || r.BestNanos > r.FullNICNanos+1e-9 && r.BestNanos > r.FullHostNanos+1e-9 {
+			t.Errorf("%s: best %.0f ns worse than both extremes (%.0f / %.0f)",
+				r.NF, r.BestNanos, r.FullNICNanos, r.FullHostNanos)
+		}
+	}
+	// The cheap stateful NFs should prefer full offload; their state makes
+	// splits expensive.
+	for _, r := range rows {
+		if r.NF == "firewall" || r.NF == "nat" {
+			if r.BestCut != r.TotalCuts {
+				t.Errorf("%s best cut = %d/%d, want full offload", r.NF, r.BestCut, r.TotalCuts)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package ilp implements a small exact solver for the 0/1 integer linear
+// programs Clara's mapper produces (§3.4 of the paper: compute constraints
+// Π, memory constraints Γ and switching constraints Θ solved together to
+// emulate a compilation process). The solver pairs a dense two-phase primal
+// simplex (LP relaxation, Bland's rule) with depth-first branch and bound.
+// Mapping instances are tiny — tens of dataflow nodes against tens of LNIC
+// units — so exact search is fast and dependency-free.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// VarID names a model variable.
+type VarID int
+
+// Sense is a constraint relation.
+type Sense uint8
+
+// Constraint senses.
+const (
+	LE Sense = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+type variable struct {
+	name    string
+	integer bool
+	lo, hi  float64
+}
+
+type constraint struct {
+	name  string
+	terms map[VarID]float64
+	sense Sense
+	rhs   float64
+}
+
+// Model is an ILP under construction. All variables are non-negative.
+type Model struct {
+	vars     []variable
+	cons     []constraint
+	obj      map[VarID]float64
+	maximize bool
+}
+
+// NewModel returns an empty minimization model.
+func NewModel() *Model {
+	return &Model{obj: map[VarID]float64{}}
+}
+
+// Binary adds a 0/1 variable.
+func (m *Model) Binary(name string) VarID {
+	m.vars = append(m.vars, variable{name: name, integer: true, lo: 0, hi: 1})
+	return VarID(len(m.vars) - 1)
+}
+
+// Continuous adds a bounded continuous variable with 0 ≤ lo ≤ x ≤ hi.
+func (m *Model) Continuous(name string, lo, hi float64) VarID {
+	if lo < 0 {
+		lo = 0
+	}
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi})
+	return VarID(len(m.vars) - 1)
+}
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the constraint count.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// VarName returns the name of v.
+func (m *Model) VarName(v VarID) string { return m.vars[v].name }
+
+// SetObjectiveTerm sets the objective coefficient of v.
+func (m *Model) SetObjectiveTerm(v VarID, coeff float64) {
+	if coeff == 0 {
+		delete(m.obj, v)
+		return
+	}
+	m.obj[v] = coeff
+}
+
+// AddObjectiveTerm adds coeff to v's objective coefficient.
+func (m *Model) AddObjectiveTerm(v VarID, coeff float64) {
+	m.SetObjectiveTerm(v, m.obj[v]+coeff)
+}
+
+// Maximize flips the model to maximization.
+func (m *Model) Maximize() { m.maximize = true }
+
+// AddConstraint adds Σ terms[v]·v  sense  rhs. The terms map is copied.
+func (m *Model) AddConstraint(name string, terms map[VarID]float64, sense Sense, rhs float64) {
+	t := make(map[VarID]float64, len(terms))
+	for v, c := range terms {
+		if int(v) < 0 || int(v) >= len(m.vars) {
+			panic(fmt.Sprintf("ilp: constraint %q references unknown variable %d", name, v))
+		}
+		if c != 0 {
+			t[v] = c
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: t, sense: sense, rhs: rhs})
+}
+
+// Fix pins a variable to a value via an equality constraint (used by the
+// mapper's strategy hints to emulate hand-tuning decisions).
+func (m *Model) Fix(v VarID, val float64) {
+	m.AddConstraint(fmt.Sprintf("fix:%s", m.vars[v].name), map[VarID]float64{v: 1}, EQ, val)
+}
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	Values    []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v VarID) float64 { return s.Values[v] }
+
+// Bool returns whether binary v is set in the solution.
+func (s *Solution) Bool(v VarID) bool { return s.Values[v] > 0.5 }
+
+// ErrNodeLimit reports branch-and-bound explosion.
+var ErrNodeLimit = errors.New("ilp: branch-and-bound node limit exceeded")
+
+// String renders the model for debugging.
+func (m *Model) String() string {
+	var b strings.Builder
+	dir := "min"
+	if m.maximize {
+		dir = "max"
+	}
+	fmt.Fprintf(&b, "%s ", dir)
+	ids := make([]VarID, 0, len(m.obj))
+	for v := range m.obj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, v := range ids {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g·%s", m.obj[v], m.vars[v].name)
+	}
+	b.WriteString("\n")
+	for _, c := range m.cons {
+		vids := make([]VarID, 0, len(c.terms))
+		for v := range c.terms {
+			vids = append(vids, v)
+		}
+		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+		fmt.Fprintf(&b, "  %s: ", c.name)
+		for i, v := range vids {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%g·%s", c.terms[v], m.vars[v].name)
+		}
+		fmt.Fprintf(&b, " %s %g\n", c.sense, c.rhs)
+	}
+	return b.String()
+}
+
+const (
+	feasTol = 1e-7
+	intTol  = 1e-6
+)
+
+// Solve finds an optimal solution respecting integrality, or reports
+// infeasibility/unboundedness.
+func (m *Model) Solve() (*Solution, error) {
+	return m.SolveWithLimit(2_000_000)
+}
+
+// SolveWithLimit is Solve with an explicit branch-and-bound node budget.
+func (m *Model) SolveWithLimit(maxNodes int) (*Solution, error) {
+	// Internally always minimize.
+	obj := make([]float64, len(m.vars))
+	for v, c := range m.obj {
+		if m.maximize {
+			obj[v] = -c
+		} else {
+			obj[v] = c
+		}
+	}
+	bb := &bnb{m: m, obj: obj, best: math.Inf(1), maxNodes: maxNodes}
+	lo := make([]float64, len(m.vars))
+	hi := make([]float64, len(m.vars))
+	for i, v := range m.vars {
+		lo[i], hi[i] = v.lo, v.hi
+	}
+	if err := bb.search(lo, hi); err != nil {
+		return nil, err
+	}
+	if bb.bestVals == nil {
+		return &Solution{Status: StatusInfeasible, Nodes: bb.nodes}, nil
+	}
+	objv := bb.best
+	if m.maximize {
+		objv = -objv
+	}
+	return &Solution{Status: StatusOptimal, Objective: objv, Values: bb.bestVals, Nodes: bb.nodes}, nil
+}
+
+type bnb struct {
+	m        *Model
+	obj      []float64
+	best     float64
+	bestVals []float64
+	nodes    int
+	maxNodes int
+}
+
+func (b *bnb) search(lo, hi []float64) error {
+	b.nodes++
+	if b.nodes > b.maxNodes {
+		return ErrNodeLimit
+	}
+	vals, objv, status := solveLP(b.m, b.obj, lo, hi)
+	switch status {
+	case StatusInfeasible:
+		return nil
+	case StatusUnbounded:
+		// With bounded variables the relaxation cannot be unbounded unless
+		// a continuous variable has an infinite bound.
+		return errors.New("ilp: LP relaxation unbounded")
+	}
+	if objv >= b.best-1e-9 {
+		return nil // bound: cannot improve on incumbent
+	}
+	// Find the most fractional integer variable.
+	frac := -1
+	fracDist := 0.0
+	for i, v := range b.m.vars {
+		if !v.integer {
+			continue
+		}
+		f := vals[i] - math.Floor(vals[i])
+		d := math.Min(f, 1-f)
+		if d > intTol && d > fracDist {
+			fracDist = d
+			frac = i
+		}
+	}
+	if frac == -1 {
+		// Integral: new incumbent.
+		if objv < b.best {
+			b.best = objv
+			b.bestVals = append([]float64(nil), vals...)
+			// Round integers exactly.
+			for i, v := range b.m.vars {
+				if v.integer {
+					b.bestVals[i] = math.Round(b.bestVals[i])
+				}
+			}
+		}
+		return nil
+	}
+	// Branch: explore the side nearest the fractional value first.
+	floorV := math.Floor(vals[frac])
+	lo2 := append([]float64(nil), lo...)
+	hi2 := append([]float64(nil), hi...)
+	down := func() error {
+		hi2[frac] = floorV
+		defer func() { hi2[frac] = hi[frac] }()
+		return b.search(lo2, hi2)
+	}
+	up := func() error {
+		lo2[frac] = floorV + 1
+		defer func() { lo2[frac] = lo[frac] }()
+		return b.search(lo2, hi2)
+	}
+	if vals[frac]-floorV > 0.5 {
+		if err := up(); err != nil {
+			return err
+		}
+		return down()
+	}
+	if err := down(); err != nil {
+		return err
+	}
+	return up()
+}

@@ -1,0 +1,177 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomLPFeasibility builds random LPs that are feasible by
+// construction (constraints derived from a known point) and checks that the
+// solver's optimum satisfies every constraint and is no worse than the
+// known point.
+func TestRandomLPFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(4)
+		m := NewModel()
+		vars := make([]VarID, n)
+		known := make([]float64, n)
+		for i := range vars {
+			vars[i] = m.Continuous("x", 0, 10)
+			known[i] = rng.Float64() * 10
+			m.SetObjectiveTerm(vars[i], rng.Float64()*10-5)
+		}
+		type con struct {
+			coef  []float64
+			sense Sense
+			rhs   float64
+		}
+		var cons []con
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			coef := make([]float64, n)
+			lhs := 0.0
+			for i := range coef {
+				coef[i] = rng.Float64()*4 - 2
+				lhs += coef[i] * known[i]
+			}
+			// Make the known point satisfy the constraint with slack.
+			var sense Sense
+			var rhs float64
+			switch rng.Intn(3) {
+			case 0:
+				sense, rhs = LE, lhs+rng.Float64()
+			case 1:
+				sense, rhs = GE, lhs-rng.Float64()
+			default:
+				sense, rhs = EQ, lhs
+			}
+			cons = append(cons, con{coef, sense, rhs})
+			terms := map[VarID]float64{}
+			for i, cf := range coef {
+				terms[vars[i]] = cf
+			}
+			m.AddConstraint("c", terms, sense, rhs)
+		}
+		s, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v for a feasible-by-construction LP", trial, s.Status)
+		}
+		// Solution must satisfy every constraint.
+		for ci, c := range cons {
+			lhs := 0.0
+			for i, cf := range c.coef {
+				lhs += cf * s.Value(vars[i])
+			}
+			switch c.sense {
+			case LE:
+				if lhs > c.rhs+1e-5 {
+					t.Fatalf("trial %d con %d: %v > %v", trial, ci, lhs, c.rhs)
+				}
+			case GE:
+				if lhs < c.rhs-1e-5 {
+					t.Fatalf("trial %d con %d: %v < %v", trial, ci, lhs, c.rhs)
+				}
+			case EQ:
+				if math.Abs(lhs-c.rhs) > 1e-5 {
+					t.Fatalf("trial %d con %d: %v != %v", trial, ci, lhs, c.rhs)
+				}
+			}
+		}
+		// Bounds respected.
+		for i := range vars {
+			v := s.Value(vars[i])
+			if v < -1e-6 || v > 10+1e-6 {
+				t.Fatalf("trial %d: x%d = %v out of [0,10]", trial, i, v)
+			}
+		}
+		// Optimal objective cannot exceed the known feasible point's value.
+		knownObj := 0.0
+		for i := range vars {
+			knownObj += known[i] * objCoeff(m, vars[i])
+		}
+		if s.Objective > knownObj+1e-5 {
+			t.Fatalf("trial %d: optimum %v worse than known point %v", trial, s.Objective, knownObj)
+		}
+	}
+}
+
+func objCoeff(m *Model, v VarID) float64 { return m.obj[v] }
+
+// TestMixedIntegerRelaxationBound: the ILP optimum is never better than its
+// LP relaxation (minimization), checked on random mixed models.
+func TestMixedIntegerRelaxationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		build := func(relaxed bool) *Model {
+			r := rand.New(rand.NewSource(int64(trial))) // same structure
+			m := NewModel()
+			n := 2 + r.Intn(4)
+			vars := make([]VarID, n)
+			for i := range vars {
+				if relaxed {
+					vars[i] = m.Continuous("x", 0, 1)
+				} else {
+					vars[i] = m.Binary("x")
+				}
+				m.SetObjectiveTerm(vars[i], float64(r.Intn(19)-9))
+			}
+			terms := map[VarID]float64{}
+			for i := range vars {
+				terms[vars[i]] = 1
+			}
+			// At least one variable must be on.
+			m.AddConstraint("cover", terms, GE, 1)
+			return m
+		}
+		ilpSol, err := build(false).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpSol, err := build(true).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ilpSol.Status != StatusOptimal || lpSol.Status != StatusOptimal {
+			t.Fatalf("trial %d: statuses %v/%v", trial, ilpSol.Status, lpSol.Status)
+		}
+		if ilpSol.Objective < lpSol.Objective-1e-6 {
+			t.Fatalf("trial %d: ILP %v beat its LP relaxation %v", trial, ilpSol.Objective, lpSol.Objective)
+		}
+		_ = rng
+	}
+}
+
+// TestBinarySolutionsAreBinary: every integer variable in an optimal
+// solution is integral.
+func TestBinarySolutionsAreBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		m := NewModel()
+		n := 3 + rng.Intn(4)
+		vars := make([]VarID, n)
+		terms := map[VarID]float64{}
+		for i := range vars {
+			vars[i] = m.Binary("x")
+			m.SetObjectiveTerm(vars[i], rng.Float64()*10-5)
+			terms[vars[i]] = rng.Float64()*3 + 0.5
+		}
+		m.AddConstraint("cap", terms, LE, rng.Float64()*float64(n))
+		s, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != StatusOptimal {
+			continue
+		}
+		for i := range vars {
+			v := s.Value(vars[i])
+			if math.Abs(v-math.Round(v)) > 1e-9 {
+				t.Fatalf("trial %d: binary var = %v", trial, v)
+			}
+		}
+	}
+}

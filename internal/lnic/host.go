@@ -1,0 +1,54 @@
+package lnic
+
+import (
+	"fmt"
+
+	"clara/internal/cir"
+)
+
+// HostX86 models the server side of a partial offload (§6: "the NF is
+// partitioned into two components — one resident in the SmartNIC and
+// another in server CPUs"). Structurally it is just another compute target:
+// fast out-of-order-ish cores with FPUs behind a deep cache hierarchy. It
+// deliberately reuses the LNIC machinery so the partial-offload analyzer
+// can price both sides with the same cost model.
+//
+// Energy coefficients reflect the efficiency gap that motivates offloading
+// in the first place (E3 [35]): a server core burns roughly an order of
+// magnitude more energy per cycle than a SmartNIC NPU.
+func HostX86() *LNIC {
+	l := &LNIC{
+		Name:     "host-x86",
+		ClockGHz: 3.4, // the paper's testbed: Xeon E5-2643 @ 3.40 GHz
+	}
+	l1 := l.addMem(MemRegion{Name: "l1", Bytes: 32 << 10, Level: 0, LoadCycles: 4, StoreCycles: 4, LineBytes: 64, NJPerAccess: 0.5})
+	l2 := l.addMem(MemRegion{Name: "l2", Bytes: 256 << 10, Level: 1, LoadCycles: 12, StoreCycles: 12, LineBytes: 64, NJPerAccess: 1.0})
+	dram := l.addMem(MemRegion{Name: "dram", Bytes: 128 << 30, Level: 2, LoadCycles: 260, StoreCycles: 260,
+		CacheBytes: 20 << 20, CacheHitCycles: 40, LineBytes: 64, NJPerAccess: 20}) // 20 MB LLC
+
+	x86Classes := map[cir.Class]float64{
+		cir.ClassNop: 0, cir.ClassALU: 0.5, cir.ClassMul: 1, cir.ClassDiv: 7,
+		cir.ClassFloat: 1, cir.ClassMem: 4,
+	}
+	var cores []int
+	for i := 0; i < 4; i++ { // cores the NF may actually use
+		id := l.addUnit(ComputeUnit{Name: fmt.Sprintf("x86-%d", i), Kind: UnitNPU, Stage: 0, Threads: 2,
+			ClassCycles: x86Classes, HasFPU: true, FloatEmulation: 1, LocalMem: l1,
+			NJPerCycle: 6.0})
+		cores = append(cores, id)
+	}
+	for _, c := range cores {
+		l.connect(c, l2, 0)
+		l.connect(c, dram, 0)
+	}
+	l.Hier = []HierEdge{{From: l1, To: l2}, {From: l2, To: dram}}
+	l.Hubs = []Hub{{ID: 0, Name: "numa", ServiceCycles: 10, QueueCap: 1024, Discipline: "fifo"}}
+
+	l.PktMem = l2
+	l.PktSpillMem = dram
+	l.PktMemResident = 4096
+	l.ParseCycles = 60
+	l.MetadataCycles = 1
+	l.HashCycles = 6
+	return l
+}

@@ -1,0 +1,395 @@
+// Package nf provides the network-function corpus used throughout Clara's
+// evaluation: the five NFs of the paper's Figure 1 (NAT, DPI, firewall, LPM,
+// heavy-hitter detection), the component NFs of the VNF chain in Figure 3b
+// (DPI, metering, header modifications, flow statistics), and the chain
+// itself. Each NF is written in the NF dialect and compiled through
+// internal/nfc, exactly the way a Clara user would analyze an unported
+// program.
+package nf
+
+import (
+	"fmt"
+
+	"clara/internal/cir"
+	"clara/internal/nfc"
+)
+
+// Spec bundles an NF source with the runtime facts the simulator needs to
+// reconstruct the paper's setup (how many rules to pre-install, etc.).
+type Spec struct {
+	Name   string
+	Source string
+	// PreloadEntries maps state names to entry counts the simulator installs
+	// before the run (LPM rule tables, static ACLs). Maps not listed start
+	// empty.
+	PreloadEntries map[string]int
+}
+
+// Compile lowers the spec's source to CIR.
+func (s Spec) Compile() (*cir.Program, error) {
+	p, err := nfc.Compile(s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("nf %s: %w", s.Name, err)
+	}
+	return p, nil
+}
+
+// MustCompile is Compile for tests and examples.
+func (s Spec) MustCompile() *cir.Program {
+	p, err := s.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LPM builds the longest-prefix-match forwarder of §4(a): one route lookup
+// on the destination address per packet, TTL decrement, and forward. The
+// route table holds entries rules (the paper sweeps 5k–30k).
+func LPM(entries int) Spec {
+	src := fmt.Sprintf(`nf lpm {
+	state routes : lpm<4, 4>[%d];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var dst = field(ipv4, dst_addr);
+		var nh = lpm_lookup(routes, dst);
+		if (nh == ~0) { return drop; }
+		var t = field(ipv4, ttl);
+		if (t <= 1) { return drop; }
+		set_field(ipv4, ttl, t - 1);
+		emit(nh);
+		return pass;
+	}
+}`, entries)
+	return Spec{
+		Name:           fmt.Sprintf("lpm-%d", entries),
+		Source:         src,
+		PreloadEntries: map[string]int{"routes": entries},
+	}
+}
+
+// NAT builds the network address translator of §4(c): a per-flow table maps
+// each 5-tuple to a translated source address/port; headers are rewritten on
+// every packet. When fullChecksum is true the NF recomputes the L4 checksum
+// over the payload (the variant that benefits from the checksum
+// accelerator); otherwise it patches it incrementally (RFC 1624).
+func NAT(fullChecksum bool) Spec {
+	fix := `cksum_update(tcp, src, SNAT_IP);
+		cksum_update(tcp, sport, 40000 + (hash(k) & 0x3FFF));`
+	name := "nat-incremental"
+	if fullChecksum {
+		fix = `checksum(tcp);`
+		name = "nat-fullcksum"
+	}
+	src := fmt.Sprintf(`nf nat {
+	state flows : map<13, 8>[65536];
+	const SNAT_IP = 0x0a0a0a0a;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		if (!parse(tcp) && !parse(udp)) { return pass; }
+		var k = flow_key();
+		var nport = 0;
+		if (map_lookup(flows, k)) {
+			nport = map_get(flows, 1);
+		} else {
+			nport = 40000 + (hash(k) & 0x3FFF);
+			map_put(flows, k, SNAT_IP, nport);
+		}
+		var src = field(ipv4, src_addr);
+		var sport = field(tcp, src_port);
+		set_field(ipv4, src_addr, SNAT_IP);
+		set_field(tcp, src_port, nport);
+		%s
+		emit(0);
+		return pass;
+	}
+}`, fix)
+	return Spec{Name: name, Source: src}
+}
+
+// Firewall builds the stateful firewall of Figure 1: established flows pass,
+// TCP SYNs install state, everything else drops.
+func Firewall(capacity int) Spec {
+	src := fmt.Sprintf(`nf firewall {
+	state conns : map<13, 8>[%d];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		if (map_lookup(conns, k)) {
+			emit(0);
+			return pass;
+		}
+		if (parse(tcp) && (field(tcp, flags) & 0x02)) {
+			map_put(conns, k, 1, 0);
+			emit(0);
+			return pass;
+		}
+		return drop;
+	}
+}`, capacity)
+	return Spec{Name: fmt.Sprintf("firewall-%d", capacity), Source: src}
+}
+
+// DPI builds the deep-packet-inspection NF: an Aho–Corasick multi-pattern
+// scan over the whole payload; matching packets are dropped. Its cost is
+// dominated by the per-byte automaton walk, so latency grows with packet
+// size (Figure 1's DPI variants).
+func DPI() Spec {
+	src := `nf dpi {
+	state sigs : patterns["attack", "exploit", "/etc/passwd", "SELECT * FROM", "cmd.exe", "powershell -enc", "eval(base64", "<script>"];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var hits = dpi_scan(sigs);
+		if (hits > 0) { return drop; }
+		emit(0);
+		return pass;
+	}
+}`
+	return Spec{Name: "dpi", Source: src}
+}
+
+// HeavyHitter builds the heavy-hitter detector of Figure 1: a count-min
+// sketch estimates per-flow packet counts; flows above threshold are
+// flagged (dropped here so behaviour is observable).
+func HeavyHitter(threshold int) Spec {
+	src := fmt.Sprintf(`nf heavyhitter {
+	state counts : sketch<4>[16384];
+	const THRESHOLD = %d;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		var est = sketch_add(counts, k);
+		if (est > THRESHOLD) { return drop; }
+		emit(0);
+		return pass;
+	}
+}`, threshold)
+	return Spec{Name: fmt.Sprintf("heavyhitter-%d", threshold), Source: src}
+}
+
+// Metering builds a per-flow token-bucket policer (a VNF-chain component):
+// each flow earns tokens over time and pays one per packet.
+func Metering(ratePerMs, burst int) Spec {
+	src := fmt.Sprintf(`nf metering {
+	state meters : map<13, 16>[65536];
+	const RATE_PER_MS = %d;
+	const BURST = %d;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		var tokens = BURST;
+		var last = now();
+		if (map_lookup(meters, k)) {
+			tokens = map_get(meters, 0);
+			last = map_get(meters, 1);
+			var t = now();
+			var refill = ((t - last) * RATE_PER_MS) / 1000000;
+			tokens = tokens + refill;
+			if (tokens > BURST) { tokens = BURST; }
+			last = t;
+		}
+		if (tokens < 1) {
+			map_put(meters, k, tokens, last);
+			return drop;
+		}
+		map_put(meters, k, tokens - 1, last);
+		emit(0);
+		return pass;
+	}
+}`, ratePerMs, burst)
+	return Spec{Name: "metering", Source: src}
+}
+
+// FlowStats builds the flow-statistics collector (a VNF-chain component):
+// per-flow packet and byte counters.
+func FlowStats() Spec {
+	src := `nf flowstats {
+	state stats : map<13, 16>[65536];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		if (!map_lookup(stats, k)) {
+			map_put(stats, k, 0, 0);
+		}
+		map_incr(stats, k, 0, 1);
+		map_incr(stats, k, 1, field(ipv4, len));
+		emit(0);
+		return pass;
+	}
+}`
+	return Spec{Name: "flowstats", Source: src}
+}
+
+// VNFChain builds the function chain of §4(b): DPI, metering, header
+// modifications and flow statistics fused into one handler, matching how
+// DPDK chains run components back to back over each packet.
+func VNFChain() Spec {
+	src := `nf vnfchain {
+	state sigs : patterns["attack", "exploit", "/etc/passwd", "SELECT * FROM", "cmd.exe", "powershell -enc"];
+	state meters : map<13, 16>[65536];
+	state stats : map<13, 16>[65536];
+	const RATE_PER_MS = 100;
+	const BURST = 64;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+
+		// Stage 1: deep packet inspection.
+		var hits = dpi_scan(sigs);
+		if (hits > 0) { return drop; }
+
+		// Stage 2: per-flow metering.
+		var k = flow_key();
+		var tokens = BURST;
+		var last = now();
+		if (map_lookup(meters, k)) {
+			tokens = map_get(meters, 0);
+			last = map_get(meters, 1);
+			var t = now();
+			var refill = ((t - last) * RATE_PER_MS) / 1000000;
+			tokens = tokens + refill;
+			if (tokens > BURST) { tokens = BURST; }
+			last = t;
+		}
+		if (tokens < 1) {
+			map_put(meters, k, tokens, last);
+			return drop;
+		}
+		map_put(meters, k, tokens - 1, last);
+
+		// Stage 3: header modifications.
+		var tl = field(ipv4, ttl);
+		if (tl <= 1) { return drop; }
+		set_field(ipv4, ttl, tl - 1);
+		set_field(ipv4, tos, 0x10);
+
+		// Stage 4: flow statistics.
+		if (!map_lookup(stats, k)) {
+			map_put(stats, k, 0, 0);
+		}
+		map_incr(stats, k, 0, 1);
+		map_incr(stats, k, 1, field(ipv4, len));
+
+		emit(0);
+		return pass;
+	}
+}`
+	return Spec{Name: "vnfchain", Source: src}
+}
+
+// Syncookie builds a SYN-proxy style responder that exercises crypto and
+// floating-point-free hashing — an extension NF beyond the paper's corpus,
+// exercising the crypto accelerator path.
+func Syncookie() Spec {
+	src := `nf syncookie {
+	state conns : map<13, 8>[65536];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		if (!parse(tcp)) { return pass; }
+		var k = flow_key();
+		var fl = field(tcp, flags);
+		if (fl & 0x02) {
+			// SYN: derive a cookie over the 5-tuple (AES-CMAC class work).
+			crypto(0, 16);
+			var cookie = hash(k + field(tcp, seq));
+			set_field(tcp, ack, cookie);
+			emit(0);
+			return pass;
+		}
+		if (map_lookup(conns, k)) {
+			emit(0);
+			return pass;
+		}
+		if (fl & 0x10) {
+			map_put(conns, k, 1, 0);
+			emit(0);
+			return pass;
+		}
+		return drop;
+	}
+}`
+	return Spec{Name: "syncookie", Source: src}
+}
+
+// LoadBalancer builds a Maglev-style L4 load balancer: consistent hashing
+// over a backend lookup table with per-flow connection affinity, the
+// canonical NIC-offload candidate from the KV-store/microservice line of
+// work the paper cites [33, 35, 43].
+func LoadBalancer(backends int) Spec {
+	src := fmt.Sprintf(`nf loadbalancer {
+	state conntrack : map<13, 8>[65536];
+	state backends : array<4>[%d];
+	const NBACKENDS = %d;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		if (!parse(tcp) && !parse(udp)) { return pass; }
+		var k = flow_key();
+		var backend = 0;
+		if (map_lookup(conntrack, k)) {
+			// Connection affinity: keep the flow on its backend.
+			backend = map_get(conntrack, 0);
+		} else {
+			// Maglev-style consistent hash into the backend table.
+			backend = arr_read(backends, hash(k) %% NBACKENDS);
+			map_put(conntrack, k, backend, 0);
+		}
+		set_field(ipv4, dst_addr, 0x0a000100 + backend);
+		set_field(ipv4, ttl, field(ipv4, ttl) - 1);
+		emit(backend);
+		return pass;
+	}
+}`, backends, backends)
+	return Spec{
+		Name:           fmt.Sprintf("loadbalancer-%d", backends),
+		Source:         src,
+		PreloadEntries: map[string]int{"backends": backends},
+	}
+}
+
+// RateLimiter builds a per-source token-bucket DDoS rate limiter keyed by
+// source address (not 5-tuple): an aggregate protection NF whose sketch
+// sizing and update rate stress the memory system differently from the
+// per-flow meter.
+func RateLimiter(threshold int) Spec {
+	src := fmt.Sprintf(`nf ratelimiter {
+	state persrc : sketch<4>[65536];
+	const THRESHOLD = %d;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var src = field(ipv4, src_addr);
+		var c = sketch_add(persrc, hash(src));
+		if (c > THRESHOLD) { return drop; }
+		emit(0);
+		return pass;
+	}
+}`, threshold)
+	return Spec{Name: fmt.Sprintf("ratelimiter-%d", threshold), Source: src}
+}
+
+// All returns the full corpus with default parameters, keyed by short name.
+func All() map[string]Spec {
+	return map[string]Spec{
+		"lpm":          LPM(10000),
+		"nat":          NAT(false),
+		"nat-full":     NAT(true),
+		"firewall":     Firewall(65536),
+		"dpi":          DPI(),
+		"heavyhitter":  HeavyHitter(1000),
+		"metering":     Metering(100, 64),
+		"flowstats":    FlowStats(),
+		"vnfchain":     VNFChain(),
+		"syncookie":    Syncookie(),
+		"loadbalancer": LoadBalancer(64),
+		"ratelimiter":  RateLimiter(5000),
+	}
+}

@@ -1,0 +1,178 @@
+package nfc
+
+// File is a parsed NF source file: one nf declaration.
+type File struct {
+	Name    string
+	States  []StateDecl
+	Consts  []ConstDecl
+	Handler *Handler
+}
+
+// StateDecl declares a state object:
+//
+//	state flows : map<13, 8>[65536];
+//	state rules : lpm<4, 4>[30000];
+//	state hits  : array<8>[1024];
+//	state hh    : sketch<4>[4096];
+//	state pats  : patterns["evil", "exploit"];
+type StateDecl struct {
+	Pos      Pos
+	Name     string
+	Kind     string // map | lpm | array | sketch | patterns
+	KeySize  int
+	ValSize  int
+	Capacity int
+	Patterns []string
+}
+
+// ConstDecl declares a named integer constant.
+type ConstDecl struct {
+	Pos   Pos
+	Name  string
+	Value uint64
+}
+
+// Handler is the packet handler body.
+type Handler struct {
+	Pos  Pos
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarStmt declares and initializes a variable.
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// LocalStmt declares a scratch byte array: local buf[64];
+type LocalStmt struct {
+	Pos  Pos
+	Name string
+	Size int
+}
+
+// AssignStmt assigns to a declared variable.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Val  Expr
+}
+
+// IfStmt is if/else; Else may be nil or hold a single nested IfStmt for
+// else-if chains.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is for(init; cond; post) {body}. Init and Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+}
+
+// ReturnStmt returns a verdict.
+type ReturnStmt struct {
+	Pos Pos
+	Val Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (builtin calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*VarStmt) stmtNode()      {}
+func (*LocalStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// IntLit is an integer literal (pass/drop/true/false lower to these too).
+type IntLit struct {
+	Pos Pos
+	Val uint64
+}
+
+// Ident references a variable, constant, state object, or builtin keyword
+// argument (proto/field names resolve during lowering).
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is !x, ~x or -x.
+type Unary struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// Binary is x <op> y, including short-circuit && and ||.
+type Binary struct {
+	Pos  Pos
+	Op   TokKind
+	X, Y Expr
+}
+
+// Call invokes a builtin.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *IntLit) exprNode() {}
+func (e *Ident) exprNode()  {}
+func (e *Unary) exprNode()  {}
+func (e *Binary) exprNode() {}
+func (e *Call) exprNode()   {}
+
+// Position returns the source position of the expression.
+func (e *IntLit) Position() Pos { return e.Pos }
+
+// Position returns the source position of the expression.
+func (e *Ident) Position() Pos { return e.Pos }
+
+// Position returns the source position of the expression.
+func (e *Unary) Position() Pos { return e.Pos }
+
+// Position returns the source position of the expression.
+func (e *Binary) Position() Pos { return e.Pos }
+
+// Position returns the source position of the expression.
+func (e *Call) Position() Pos { return e.Pos }

@@ -1,0 +1,238 @@
+package nfc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes src. Comments run from // to end of line. It returns every
+// token including the trailing EOF, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		start := l.off
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseUint(strings.ReplaceAll(text, "_", ""), 0, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer literal %q", text)
+		}
+		return Token{Kind: TokInt, Text: text, Int: v, Pos: pos}, nil
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, errf(pos, "unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				case '0':
+					sb.WriteByte(0)
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+	// Operators and punctuation.
+	two := func(k TokKind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	one := func(k TokKind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ',':
+		return one(TokComma)
+	case ';':
+		return one(TokSemi)
+	case ':':
+		return one(TokColon)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '^':
+		return one(TokCaret)
+	case '~':
+		return one(TokTilde)
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr)
+		}
+		return one(TokPipe)
+	case '<':
+		if l.peek2() == '<' {
+			return two(TokShl)
+		}
+		if l.peek2() == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if l.peek2() == '>' {
+			return two(TokShr)
+		}
+		if l.peek2() == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokBang)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

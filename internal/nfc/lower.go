@@ -1,0 +1,578 @@
+package nfc
+
+import (
+	"fmt"
+
+	"clara/internal/cir"
+)
+
+// Compile parses and lowers one NF source file into a verified CIR program.
+func Compile(src string) (*cir.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+// Lower translates a parsed file into CIR.
+func Lower(f *File) (*cir.Program, error) {
+	lo := &lowerer{
+		b:      cir.NewBuilder(f.Name),
+		consts: map[string]uint64{},
+		states: map[string]StateDecl{},
+		vars:   map[string]cir.Reg{},
+		locals: map[string]localArr{},
+	}
+	for _, c := range f.Consts {
+		if err := lo.declare(c.Name, c.Pos); err != nil {
+			return nil, err
+		}
+		lo.consts[c.Name] = c.Value
+	}
+	for _, s := range f.States {
+		if err := lo.declare(s.Name, s.Pos); err != nil {
+			return nil, err
+		}
+		if s.Kind == "patterns" {
+			if len(s.Patterns) == 0 {
+				return nil, errf(s.Pos, "state %s declares no patterns", s.Name)
+			}
+			lo.b.DeclarePatterns(s.Name, s.Patterns)
+		} else {
+			if s.Capacity <= 0 {
+				return nil, errf(s.Pos, "state %s has non-positive capacity", s.Name)
+			}
+			kind, err := stateKind(s.Kind)
+			if err != nil {
+				return nil, errf(s.Pos, "%v", err)
+			}
+			lo.b.DeclareState(cir.StateObj{
+				Name: s.Name, Kind: kind,
+				KeySize: s.KeySize, ValueSize: s.ValSize, Capacity: s.Capacity,
+			})
+		}
+		lo.states[s.Name] = s
+	}
+	terminated, err := lo.stmts(f.Handler.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !terminated {
+		lo.b.ReturnConst(cir.VerdictPass)
+	}
+	p, err := lo.b.Program()
+	if err != nil {
+		return nil, err
+	}
+	// Run the compiler cleanup passes the paper's LLVM front end would have
+	// applied; redundant constants would otherwise inflate block costs.
+	cir.Optimize(p)
+	if err := cir.Verify(p); err != nil {
+		return nil, fmt.Errorf("nfc: internal error: optimizer broke the program: %w", err)
+	}
+	return p, nil
+}
+
+func stateKind(s string) (cir.StateKind, error) {
+	switch s {
+	case "map":
+		return cir.StateMap, nil
+	case "lpm":
+		return cir.StateLPM, nil
+	case "array":
+		return cir.StateArray, nil
+	case "sketch":
+		return cir.StateSketch, nil
+	default:
+		return 0, fmt.Errorf("unknown state kind %q", s)
+	}
+}
+
+type localArr struct {
+	base int
+	size int
+}
+
+type loopCtx struct {
+	continueTo int
+	breakTo    int
+}
+
+type lowerer struct {
+	b      *cir.Builder
+	consts map[string]uint64
+	states map[string]StateDecl
+	vars   map[string]cir.Reg
+	locals map[string]localArr
+	loops  []loopCtx
+}
+
+func (lo *lowerer) declare(name string, pos Pos) error {
+	if _, ok := lo.consts[name]; ok {
+		return errf(pos, "%s redeclared", name)
+	}
+	if _, ok := lo.states[name]; ok {
+		return errf(pos, "%s redeclared", name)
+	}
+	if _, ok := lo.vars[name]; ok {
+		return errf(pos, "%s redeclared", name)
+	}
+	if _, ok := lo.locals[name]; ok {
+		return errf(pos, "%s redeclared", name)
+	}
+	if _, ok := builtins[name]; ok {
+		return errf(pos, "%s collides with a builtin", name)
+	}
+	if _, ok := protoNames[name]; ok {
+		return errf(pos, "%s collides with a protocol keyword", name)
+	}
+	if _, ok := fieldNames[name]; ok {
+		return errf(pos, "%s collides with a field keyword", name)
+	}
+	return nil
+}
+
+// stmts lowers a statement list and reports whether control definitely left
+// the list (return/break/continue on every path out).
+func (lo *lowerer) stmts(list []Stmt) (terminated bool, err error) {
+	for i, s := range list {
+		term, err := lo.stmt(s)
+		if err != nil {
+			return false, err
+		}
+		if term {
+			if i != len(list)-1 {
+				return false, errf(stmtPos(list[i+1]), "unreachable code")
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func stmtPos(s Stmt) Pos {
+	switch t := s.(type) {
+	case *VarStmt:
+		return t.Pos
+	case *LocalStmt:
+		return t.Pos
+	case *AssignStmt:
+		return t.Pos
+	case *IfStmt:
+		return t.Pos
+	case *WhileStmt:
+		return t.Pos
+	case *ForStmt:
+		return t.Pos
+	case *ReturnStmt:
+		return t.Pos
+	case *BreakStmt:
+		return t.Pos
+	case *ContinueStmt:
+		return t.Pos
+	case *ExprStmt:
+		return t.Pos
+	default:
+		return Pos{}
+	}
+}
+
+func (lo *lowerer) stmt(s Stmt) (terminated bool, err error) {
+	switch t := s.(type) {
+	case *VarStmt:
+		if err := lo.declare(t.Name, t.Pos); err != nil {
+			return false, err
+		}
+		v, err := lo.expr(t.Init)
+		if err != nil {
+			return false, err
+		}
+		slot := lo.b.FreshReg()
+		lo.b.CopyInto(slot, v)
+		lo.vars[t.Name] = slot
+		return false, nil
+	case *LocalStmt:
+		if err := lo.declare(t.Name, t.Pos); err != nil {
+			return false, err
+		}
+		if t.Size <= 0 {
+			return false, errf(t.Pos, "local %s has non-positive size", t.Name)
+		}
+		base := lo.b.AllocScratch(t.Size)
+		lo.locals[t.Name] = localArr{base: base, size: t.Size}
+		return false, nil
+	case *AssignStmt:
+		slot, ok := lo.vars[t.Name]
+		if !ok {
+			if _, isConst := lo.consts[t.Name]; isConst {
+				return false, errf(t.Pos, "cannot assign to constant %s", t.Name)
+			}
+			return false, errf(t.Pos, "undefined variable %s", t.Name)
+		}
+		v, err := lo.expr(t.Val)
+		if err != nil {
+			return false, err
+		}
+		lo.b.CopyInto(slot, v)
+		return false, nil
+	case *ExprStmt:
+		_, err := lo.expr(t.X)
+		return false, err
+	case *ReturnStmt:
+		v, err := lo.expr(t.Val)
+		if err != nil {
+			return false, err
+		}
+		lo.b.Return(v)
+		return true, nil
+	case *BreakStmt:
+		if len(lo.loops) == 0 {
+			return false, errf(t.Pos, "break outside loop")
+		}
+		lo.b.Jump(lo.loops[len(lo.loops)-1].breakTo)
+		return true, nil
+	case *ContinueStmt:
+		if len(lo.loops) == 0 {
+			return false, errf(t.Pos, "continue outside loop")
+		}
+		lo.b.Jump(lo.loops[len(lo.loops)-1].continueTo)
+		return true, nil
+	case *IfStmt:
+		return lo.ifStmt(t)
+	case *WhileStmt:
+		return lo.whileStmt(t)
+	case *ForStmt:
+		return lo.forStmt(t)
+	default:
+		return false, fmt.Errorf("nfc: unknown statement %T", s)
+	}
+}
+
+func (lo *lowerer) ifStmt(t *IfStmt) (bool, error) {
+	cond, err := lo.expr(t.Cond)
+	if err != nil {
+		return false, err
+	}
+	thenB := lo.b.NewBlock("then")
+	elseB := -1
+	if len(t.Else) > 0 {
+		elseB = lo.b.NewBlock("else")
+	}
+	join := -1
+	ensureJoin := func() int {
+		if join == -1 {
+			join = lo.b.NewBlock("join")
+		}
+		return join
+	}
+	if elseB >= 0 {
+		lo.b.Branch(cond, thenB, elseB)
+	} else {
+		lo.b.Branch(cond, thenB, ensureJoin())
+	}
+
+	lo.b.SetBlock(thenB)
+	thenTerm, err := lo.stmts(t.Then)
+	if err != nil {
+		return false, err
+	}
+	if !thenTerm {
+		lo.b.Jump(ensureJoin())
+	}
+	elseTerm := false
+	if elseB >= 0 {
+		lo.b.SetBlock(elseB)
+		elseTerm, err = lo.stmts(t.Else)
+		if err != nil {
+			return false, err
+		}
+		if !elseTerm {
+			lo.b.Jump(ensureJoin())
+		}
+	}
+	if join == -1 {
+		// Both arms terminated.
+		return true, nil
+	}
+	lo.b.SetBlock(join)
+	_ = thenTerm
+	return false, nil
+}
+
+func (lo *lowerer) whileStmt(t *WhileStmt) (bool, error) {
+	head := lo.b.NewBlock("while.head")
+	body := lo.b.NewBlock("while.body")
+	exit := lo.b.NewBlock("while.exit")
+	lo.b.Jump(head)
+
+	lo.b.SetBlock(head)
+	cond, err := lo.expr(t.Cond)
+	if err != nil {
+		return false, err
+	}
+	lo.b.Branch(cond, body, exit)
+
+	lo.b.SetBlock(body)
+	lo.loops = append(lo.loops, loopCtx{continueTo: head, breakTo: exit})
+	term, err := lo.stmts(t.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return false, err
+	}
+	if !term {
+		lo.b.Jump(head)
+	}
+	lo.b.SetBlock(exit)
+	return false, nil
+}
+
+func (lo *lowerer) forStmt(t *ForStmt) (bool, error) {
+	if t.Init != nil {
+		if _, err := lo.stmt(t.Init); err != nil {
+			return false, err
+		}
+	}
+	head := lo.b.NewBlock("for.head")
+	body := lo.b.NewBlock("for.body")
+	post := lo.b.NewBlock("for.post")
+	exit := lo.b.NewBlock("for.exit")
+	lo.b.Jump(head)
+
+	lo.b.SetBlock(head)
+	if t.Cond != nil {
+		cond, err := lo.expr(t.Cond)
+		if err != nil {
+			return false, err
+		}
+		lo.b.Branch(cond, body, exit)
+	} else {
+		lo.b.Jump(body)
+	}
+
+	lo.b.SetBlock(body)
+	lo.loops = append(lo.loops, loopCtx{continueTo: post, breakTo: exit})
+	term, err := lo.stmts(t.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return false, err
+	}
+	if !term {
+		lo.b.Jump(post)
+	}
+
+	lo.b.SetBlock(post)
+	if t.Post != nil {
+		if _, err := lo.stmt(t.Post); err != nil {
+			return false, err
+		}
+	}
+	lo.b.Jump(head)
+
+	lo.b.SetBlock(exit)
+	return false, nil
+}
+
+func (lo *lowerer) expr(e Expr) (cir.Reg, error) {
+	switch t := e.(type) {
+	case *IntLit:
+		return lo.b.Const(t.Val), nil
+	case *Ident:
+		if r, ok := lo.vars[t.Name]; ok {
+			return r, nil
+		}
+		if v, ok := lo.consts[t.Name]; ok {
+			return lo.b.Const(v), nil
+		}
+		if _, ok := lo.states[t.Name]; ok {
+			return 0, errf(t.Pos, "state %s used as a value (pass it to a table builtin)", t.Name)
+		}
+		if _, ok := lo.locals[t.Name]; ok {
+			return 0, errf(t.Pos, "local array %s used as a value (use load/store builtins)", t.Name)
+		}
+		return 0, errf(t.Pos, "undefined identifier %s", t.Name)
+	case *Unary:
+		x, err := lo.expr(t.X)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case TokBang:
+			zero := lo.b.Const(0)
+			return lo.b.Bin(cir.OpEq, x, zero), nil
+		case TokTilde:
+			return lo.b.Not(x), nil
+		case TokMinus:
+			zero := lo.b.Const(0)
+			return lo.b.Bin(cir.OpSub, zero, x), nil
+		default:
+			return 0, errf(t.Pos, "unknown unary operator %s", t.Op)
+		}
+	case *Binary:
+		return lo.binary(t)
+	case *Call:
+		return lo.call(t)
+	default:
+		return 0, fmt.Errorf("nfc: unknown expression %T", e)
+	}
+}
+
+var binOps = map[TokKind]cir.Op{
+	TokPlus: cir.OpAdd, TokMinus: cir.OpSub, TokStar: cir.OpMul,
+	TokSlash: cir.OpDiv, TokPercent: cir.OpMod,
+	TokAmp: cir.OpAnd, TokPipe: cir.OpOr, TokCaret: cir.OpXor,
+	TokShl: cir.OpShl, TokShr: cir.OpShr,
+	TokEq: cir.OpEq, TokNe: cir.OpNe, TokLt: cir.OpLt, TokLe: cir.OpLe,
+	TokGt: cir.OpGt, TokGe: cir.OpGe,
+}
+
+func (lo *lowerer) binary(t *Binary) (cir.Reg, error) {
+	// Short-circuit && and || lower to control flow so table lookups and
+	// other side-effecting calls on the right-hand side stay conditional.
+	if t.Op == TokAndAnd || t.Op == TokOrOr {
+		x, err := lo.expr(t.X)
+		if err != nil {
+			return 0, err
+		}
+		zero := lo.b.Const(0)
+		xb := lo.b.Bin(cir.OpNe, x, zero)
+		result := lo.b.FreshReg()
+		lo.b.CopyInto(result, xb)
+		rhs := lo.b.NewBlock("sc.rhs")
+		join := lo.b.NewBlock("sc.join")
+		if t.Op == TokAndAnd {
+			lo.b.Branch(xb, rhs, join) // false short-circuits
+		} else {
+			lo.b.Branch(xb, join, rhs) // true short-circuits
+		}
+		lo.b.SetBlock(rhs)
+		y, err := lo.expr(t.Y)
+		if err != nil {
+			return 0, err
+		}
+		zero2 := lo.b.Const(0)
+		yb := lo.b.Bin(cir.OpNe, y, zero2)
+		lo.b.CopyInto(result, yb)
+		lo.b.Jump(join)
+		lo.b.SetBlock(join)
+		return result, nil
+	}
+	op, ok := binOps[t.Op]
+	if !ok {
+		return 0, errf(t.Pos, "unknown binary operator %s", t.Op)
+	}
+	x, err := lo.expr(t.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := lo.expr(t.Y)
+	if err != nil {
+		return 0, err
+	}
+	return lo.b.Bin(op, x, y), nil
+}
+
+func (lo *lowerer) call(t *Call) (cir.Reg, error) {
+	sig, ok := builtins[t.Name]
+	if !ok {
+		return 0, errf(t.Pos, "unknown builtin %s", t.Name)
+	}
+	minArgs := len(sig.args)
+	maxArgs := minArgs
+	if sig.varTail >= 0 {
+		maxArgs += sig.varTail
+	}
+	if len(t.Args) < minArgs || len(t.Args) > maxArgs {
+		if minArgs == maxArgs {
+			return 0, errf(t.Pos, "%s expects %d argument(s), got %d", t.Name, minArgs, len(t.Args))
+		}
+		return 0, errf(t.Pos, "%s expects %d..%d arguments, got %d", t.Name, minArgs, maxArgs, len(t.Args))
+	}
+
+	var regs []cir.Reg
+	state := ""
+	var localBase cir.Reg
+	haveLocal := false
+	for i, a := range t.Args {
+		kind := argExpr
+		if i < len(sig.args) {
+			kind = sig.args[i]
+		}
+		switch kind {
+		case argProto:
+			id, ok := a.(*Ident)
+			if !ok {
+				return 0, errf(a.Position(), "%s argument %d must be a protocol keyword", t.Name, i+1)
+			}
+			v, ok := protoNames[id.Name]
+			if !ok {
+				return 0, errf(id.Pos, "unknown protocol %q", id.Name)
+			}
+			regs = append(regs, lo.b.Const(v))
+		case argField:
+			id, ok := a.(*Ident)
+			if !ok {
+				return 0, errf(a.Position(), "%s argument %d must be a field keyword", t.Name, i+1)
+			}
+			v, ok := fieldNames[id.Name]
+			if !ok {
+				return 0, errf(id.Pos, "unknown header field %q", id.Name)
+			}
+			regs = append(regs, lo.b.Const(v))
+		case argState:
+			id, ok := a.(*Ident)
+			if !ok {
+				return 0, errf(a.Position(), "%s argument %d must be a state name", t.Name, i+1)
+			}
+			decl, ok := lo.states[id.Name]
+			if !ok {
+				return 0, errf(id.Pos, "undefined state %q", id.Name)
+			}
+			if sig.stateKind != "" && decl.Kind != sig.stateKind {
+				return 0, errf(id.Pos, "%s requires %s state, %s is %s", t.Name, sig.stateKind, id.Name, decl.Kind)
+			}
+			state = id.Name
+		case argLocal:
+			id, ok := a.(*Ident)
+			if !ok {
+				return 0, errf(a.Position(), "%s argument %d must be a local array name", t.Name, i+1)
+			}
+			arr, ok := lo.locals[id.Name]
+			if !ok {
+				return 0, errf(id.Pos, "undefined local array %q", id.Name)
+			}
+			localBase = lo.b.Const(uint64(arr.base))
+			haveLocal = true
+		case argExpr:
+			r, err := lo.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			regs = append(regs, r)
+		}
+	}
+
+	// Scratch load/store pseudo-builtins.
+	if sig.loadSize > 0 {
+		if !haveLocal {
+			return 0, errf(t.Pos, "%s needs a local array", t.Name)
+		}
+		addr := lo.b.Bin(cir.OpAdd, localBase, regs[0])
+		return lo.b.Load(addr, sig.loadSize), nil
+	}
+	if sig.storeSize > 0 {
+		if !haveLocal {
+			return 0, errf(t.Pos, "%s needs a local array", t.Name)
+		}
+		addr := lo.b.Bin(cir.OpAdd, localBase, regs[0])
+		lo.b.Store(addr, regs[1], sig.storeSize)
+		return lo.b.Const(0), nil
+	}
+
+	if sig.hasResult {
+		return lo.b.VCall(sig.vcall, state, regs...), nil
+	}
+	lo.b.VCallVoid(sig.vcall, state, regs...)
+	// Void builtins in expression position evaluate to zero.
+	return lo.b.Const(0), nil
+}

@@ -1,0 +1,568 @@
+package nfc
+
+import "fmt"
+
+// Parse builds the AST for one NF source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %s", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+func (p *parser) file() (*File, error) {
+	if _, err := p.expect(TokNF); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name.Text}
+	for p.cur().Kind != TokRBrace {
+		switch p.cur().Kind {
+		case TokState:
+			s, err := p.stateDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.States = append(f.States, *s)
+		case TokConst:
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, *c)
+		case TokHandler:
+			if f.Handler != nil {
+				return nil, errf(p.cur().Pos, "duplicate handler")
+			}
+			h, err := p.handler()
+			if err != nil {
+				return nil, err
+			}
+			f.Handler = h
+		case TokEOF:
+			return nil, errf(p.cur().Pos, "unexpected end of file inside nf %s", f.Name)
+		default:
+			return nil, errf(p.cur().Pos, "expected state, const or handler, found %s", describe(p.cur()))
+		}
+	}
+	p.advance() // }
+	if p.cur().Kind != TokEOF {
+		return nil, errf(p.cur().Pos, "trailing input after nf declaration")
+	}
+	if f.Handler == nil {
+		return nil, errf(Pos{1, 1}, "nf %s has no handler", f.Name)
+	}
+	return f, nil
+}
+
+// stateDecl parses: state NAME : kind<K,V>[CAP]; or state NAME : patterns[...];
+func (p *parser) stateDecl() (*StateDecl, error) {
+	start := p.advance() // state
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	kind, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &StateDecl{Pos: start.Pos, Name: name.Text, Kind: kind.Text}
+	switch kind.Text {
+	case "patterns":
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		for {
+			s, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			d.Patterns = append(d.Patterns, s.Text)
+			if p.cur().Kind == TokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	case "map", "lpm", "array", "sketch":
+		if _, err := p.expect(TokLt); err != nil {
+			return nil, err
+		}
+		first, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if kind.Text == "array" || kind.Text == "sketch" {
+			// Single geometry argument: value size.
+			d.ValSize = int(first.Int)
+		} else {
+			d.KeySize = int(first.Int)
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+			val, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			d.ValSize = int(val.Int)
+		}
+		if _, err := p.expect(TokGt); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		capTok, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		d.Capacity = int(capTok.Int)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(kind.Pos, "unknown state kind %q (want map, lpm, array, sketch or patterns)", kind.Text)
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	start := p.advance() // const
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	val, err := p.expect(TokInt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Pos: start.Pos, Name: name.Text, Value: val.Int}, nil
+}
+
+func (p *parser) handler() (*Handler, error) {
+	start := p.advance() // handler
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	// Optional packet parameter name, purely documentary.
+	if p.cur().Kind == TokIdent {
+		p.advance()
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Handler{Pos: start.Pos, Body: body}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.cur().Pos, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Pos: t.Pos, Name: name.Text, Init: init}, nil
+	case TokLocal:
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		size, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &LocalStmt{Pos: t.Pos, Name: name.Text, Size: int(size.Int)}, nil
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		p.advance()
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos, Val: val}, nil
+	case TokBreak:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TokContinue:
+		p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case TokIdent:
+		// Assignment or call statement.
+		if p.peek().Kind == TokAssign {
+			name := p.advance()
+			p.advance() // =
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: t.Pos, Name: name.Text, Val: val}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: t.Pos, X: x}, nil
+	default:
+		return nil, errf(t.Pos, "expected statement, found %s", describe(t))
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.advance() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+	if p.cur().Kind == TokElse {
+		p.advance()
+		if p.cur().Kind == TokIf {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{nested}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.advance() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var init, post Stmt
+	var cond Expr
+	var err error
+	if p.cur().Kind != TokSemi {
+		init, err = p.simpleStmtNoSemi()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err = p.simpleStmtNoSemi()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Pos: t.Pos, Init: init, Cond: cond, Post: post, Body: body}, nil
+}
+
+// simpleStmtNoSemi parses a var decl, assignment or expression without the
+// trailing semicolon, for for-clauses.
+func (p *parser) simpleStmtNoSemi() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokVar {
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Pos: t.Pos, Name: name.Text, Init: init}, nil
+	}
+	if t.Kind == TokIdent && p.peek().Kind == TokAssign {
+		name := p.advance()
+		p.advance()
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, Name: name.Text, Val: val}, nil
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, X: x}, nil
+}
+
+// Binary operator precedence, loosest to tightest.
+var precedence = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := precedence[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokBang, TokTilde, TokMinus:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{Pos: t.Pos, Val: t.Int}, nil
+	case TokPass, TokFalse:
+		p.advance()
+		return &IntLit{Pos: t.Pos, Val: 0}, nil
+	case TokDrop, TokTrue:
+		p.advance()
+		return &IntLit{Pos: t.Pos, Val: 1}, nil
+	case TokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		p.advance()
+		if p.cur().Kind == TokLParen {
+			p.advance()
+			var args []Expr
+			for p.cur().Kind != TokRParen {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

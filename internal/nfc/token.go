@@ -1,0 +1,133 @@
+// Package nfc compiles network functions written in the NF dialect — a
+// small C-like language with Click/eBPF-flavoured builtins — into Clara IR.
+// It stands in for the paper's LLVM front end (§3.3): the output is the same
+// artifact class, basic blocks of hardware-independent instructions in which
+// framework API calls have been replaced by virtual calls.
+//
+// The pipeline is conventional: Lex → Parse (recursive descent with
+// precedence climbing) → semantic analysis → lowering through cir.Builder.
+package nfc
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokColon
+	TokAssign // =
+
+	// Operators.
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokEq
+	TokNe
+	TokAndAnd
+	TokOrOr
+	TokBang
+	TokTilde
+
+	// Keywords.
+	TokNF
+	TokState
+	TokConst
+	TokHandler
+	TokVar
+	TokLocal
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokPass
+	TokDrop
+	TokTrue
+	TokFalse
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokString: "string",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokColon: ":", TokAssign: "=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=", TokEq: "==", TokNe: "!=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!", TokTilde: "~",
+	TokNF: "nf", TokState: "state", TokConst: "const", TokHandler: "handler",
+	TokVar: "var", TokLocal: "local", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokFor: "for", TokReturn: "return",
+	TokBreak: "break", TokContinue: "continue",
+	TokPass: "pass", TokDrop: "drop", TokTrue: "true", TokFalse: "false",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"nf": TokNF, "state": TokState, "const": TokConst, "handler": TokHandler,
+	"var": TokVar, "local": TokLocal, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+	"pass": TokPass, "drop": TokDrop, "true": TokTrue, "false": TokFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  uint64 // value for TokInt
+	Pos  Pos
+}
+
+// Error is a compile error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

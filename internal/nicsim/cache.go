@@ -1,0 +1,91 @@
+package nicsim
+
+// cache is a set-associative LRU cache modelling the fronting cache of an
+// LNIC memory region (the Netronome EMEM's 3 MB cache, §3.2). The simulator
+// consults it on every concrete address, so working-set effects — Zipf flow
+// skew fitting in cache, large tables thrashing it — emerge from real access
+// streams rather than from an analytic hit-rate formula. That gap is a
+// deliberate source of Clara's prediction error.
+type cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	// tags[set][way]; valid entries have tag ≥ 0.
+	tags [][]int64
+	// lru[set][way] holds recency counters (higher = more recent).
+	lru   [][]uint64
+	clock uint64
+
+	hits, misses uint64
+}
+
+// newCache sizes a cache of capacity bytes with the given line size and a
+// fixed associativity of 8 (4 when too small). A nil cache is returned for
+// zero capacity.
+func newCache(capacityBytes int64, lineBytes int) *cache {
+	if capacityBytes <= 0 {
+		return nil
+	}
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	ways := 8
+	lines := int(capacityBytes) / lineBytes
+	if lines < ways {
+		ways = 1
+	}
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cache{lineBytes: lineBytes, sets: sets, ways: ways}
+	c.tags = make([][]int64, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, ways)
+		c.lru[i] = make([]uint64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c
+}
+
+// access looks up addr, installing its line on miss. It reports whether the
+// access hit.
+func (c *cache) access(addr uint64) bool {
+	c.clock++
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	tag := int64(line / uint64(c.sets))
+	ways := c.tags[set]
+	for w, t := range ways {
+		if t == tag {
+			c.lru[set][w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Evict LRU way.
+	victim := 0
+	oldest := c.lru[set][0]
+	for w := 1; w < len(ways); w++ {
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (c *cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,702 @@
+package nicsim
+
+import (
+	"fmt"
+
+	"clara/internal/cir"
+	"clara/internal/packet"
+)
+
+// exec is the per-packet execution context: it implements cir.Env, charging
+// cycles to e.now as the interpreter walks the program.
+type exec struct {
+	s        *Sim
+	pkt      packet.Packet
+	wire     []byte
+	pktIndex int
+
+	now     float64
+	bd      Breakdown
+	emitted bool
+
+	parsed   [8]bool // indexed by proto constant; charged once per packet
+	latched  map[string]*mapEntry
+	lastLine int64 // last packet-memory line touched (streaming amortization)
+}
+
+// onInstr prices non-vcall instructions using the representative core's
+// per-class cycle table. VCall pricing happens inside VCall itself.
+func (e *exec) onInstr(_ int, in *cir.Instr) {
+	cl := cir.ClassOf(in.Op)
+	if cl == cir.ClassVCall {
+		return
+	}
+	cost := e.s.npu.ClassCycles[cl]
+	if cl == cir.ClassFloat && !e.s.npu.HasFPU {
+		cost = e.s.npu.ClassCycles[cir.ClassALU] * e.s.npu.FloatEmulation
+	}
+	if cl == cir.ClassMem && e.s.npu.LocalMem >= 0 {
+		cost = e.s.nic.Mems[e.s.npu.LocalMem].LoadCycles
+	}
+	e.now += cost
+	e.bd.Compute += cost
+}
+
+// pktBase returns the packet's simulated base address in the packet region,
+// rotated per packet so consecutive packets do not alias.
+func (e *exec) pktBase() uint64 {
+	region := e.s.nic.Mems[e.s.nic.PktMem]
+	span := uint64(region.Bytes)
+	if span < 4096 {
+		span = 4096
+	}
+	return (uint64(e.pktIndex) * 2048) % (span - 2048)
+}
+
+// payloadRead charges one payload byte read at payload offset i, amortized
+// by memory line for sequential access, honoring tail spill to the
+// secondary packet region for large packets (§3.2).
+func (e *exec) payloadRead(i int) {
+	off := len(e.wire) - len(e.pkt.Payload) + i
+	region := e.s.nic.PktMem
+	addr := e.pktBase() + uint64(off)
+	if off >= e.s.nic.PktMemResident {
+		region = e.s.nic.PktSpillMem
+		addr = (uint64(e.pktIndex)*4096 + uint64(off)) % uint64(e.s.nic.Mems[region].Bytes)
+	}
+	lineBytes := e.s.nic.Mems[region].LineBytes
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	line := int64(region)<<56 | int64(addr)/int64(lineBytes)
+	if line == e.lastLine {
+		// Same line as the previous byte: register-file speed.
+		e.now++
+		e.bd.Compute++
+		return
+	}
+	e.lastLine = line
+	e.now += e.s.memAccess(region, addr, false, &e.bd)
+}
+
+func (e *exec) charge(c float64) {
+	e.now += c
+	e.bd.Compute += c
+}
+
+// flowHash returns the packet's direction-sensitive flow key.
+func (e *exec) flowHash() uint64 {
+	f, ok := e.pkt.Flow()
+	if !ok {
+		return 0x517cc1b727220a95 // stable non-flow key
+	}
+	return f.Hash()
+}
+
+// l4SegmentLen returns the L4 segment length (header + payload) for
+// checksum costing.
+func (e *exec) l4SegmentLen() int {
+	switch {
+	case e.pkt.HasTCP:
+		return e.pkt.TCP.HeaderLen() + len(e.pkt.Payload)
+	case e.pkt.HasUDP:
+		return packet.UDPLen + len(e.pkt.Payload)
+	default:
+		return len(e.pkt.Payload)
+	}
+}
+
+// VCall implements cir.Env.
+func (e *exec) VCall(in cir.Instr, args []uint64) (uint64, error) {
+	s := e.s
+	switch in.Callee {
+	case cir.VCGetHdr:
+		proto := args[0]
+		present := e.hasProto(proto)
+		if proto < uint64(len(e.parsed)) && !e.parsed[proto] {
+			e.parsed[proto] = true
+			if s.cfg.Place.ParseOnEngine {
+				// Headers were extracted at the ingress engine; the core
+				// only reads parsed metadata.
+				e.charge(s.nic.MetadataCycles)
+			} else {
+				e.charge(s.nic.ParseCycles)
+			}
+		} else {
+			e.charge(s.nic.MetadataCycles)
+		}
+		if present {
+			return 1, nil
+		}
+		return 0, nil
+
+	case cir.VCHdrField:
+		e.charge(s.nic.MetadataCycles)
+		return e.readField(args[0], args[1]), nil
+
+	case cir.VCSetField:
+		e.charge(s.nic.MetadataCycles)
+		e.writeField(args[0], args[1], args[2])
+		return 0, nil
+
+	case cir.VCPayloadLen:
+		e.charge(1)
+		return uint64(len(e.pkt.Payload)), nil
+
+	case cir.VCPayloadByte:
+		i := int(args[0])
+		if i < 0 || i >= len(e.pkt.Payload) {
+			e.charge(1)
+			return 0, nil
+		}
+		e.payloadRead(i)
+		return uint64(e.pkt.Payload[i]), nil
+
+	case cir.VCChecksum:
+		seg := e.l4SegmentLen()
+		if s.cfg.Place.ChecksumOnAccel {
+			if accels := s.nic.Accelerators("checksum"); len(accels) > 0 {
+				e.now = s.accelVisit(accels[0], seg, e.now, &e.bd)
+				return 0, nil
+			}
+		}
+		// Software checksum on the core: fixed setup plus one ALU per byte
+		// plus packet-memory reads line by line (the ~1700-extra-cycles
+		// path of §2.1).
+		e.charge(100 + float64(seg))
+		lineBytes := s.nic.Mems[s.nic.PktMem].LineBytes
+		if lineBytes <= 0 {
+			lineBytes = 64
+		}
+		for off := 0; off < seg; off += lineBytes {
+			e.payloadRead(off)
+		}
+		return 0, nil
+
+	case cir.VCCksumUpdate:
+		e.charge(2*s.nic.MetadataCycles + 4)
+		return 0, nil
+
+	case cir.VCFlowKey:
+		e.charge(s.nic.HashCycles)
+		return e.flowHash(), nil
+
+	case cir.VCMapLookup:
+		return e.mapLookup(in.State, args[0])
+
+	case cir.VCMapGet:
+		e.charge(1)
+		if ent := e.latched[in.State]; ent != nil {
+			idx := int(args[0]) & 1
+			return ent.v[idx], nil
+		}
+		return 0, nil
+
+	case cir.VCMapPut:
+		return e.mapPut(in.State, args)
+
+	case cir.VCMapDelete:
+		m, err := e.mapFor(in.State)
+		if err != nil {
+			return 0, err
+		}
+		e.charge(s.nic.HashCycles)
+		e.now += s.memAccess(m.region, m.bucketAddr(args[0]), true, &e.bd)
+		m.del(args[0])
+		delete(e.latched, in.State)
+		if s.fc != nil {
+			s.fc.invalidate(in.State, args[0])
+		}
+		return 0, nil
+
+	case cir.VCMapIncr:
+		return e.mapIncr(in.State, args)
+
+	case cir.VCLPMLookup:
+		return e.lpmLookup(in.State, uint32(args[0]))
+
+	case cir.VCArrRead:
+		a, ok := s.arrays[in.State]
+		if !ok {
+			return 0, fmt.Errorf("nicsim: %s is not an array state", in.State)
+		}
+		i := a.idx(args[0])
+		e.now += s.memAccess(a.region, a.addr(i), false, &e.bd)
+		return a.vals[i], nil
+
+	case cir.VCArrWrite:
+		a, ok := s.arrays[in.State]
+		if !ok {
+			return 0, fmt.Errorf("nicsim: %s is not an array state", in.State)
+		}
+		i := a.idx(args[0])
+		e.now += s.memAccess(a.region, a.addr(i), true, &e.bd)
+		a.vals[i] = args[1]
+		return 0, nil
+
+	case cir.VCSketchAdd, cir.VCSketchRead:
+		sk, ok := s.sketches[in.State]
+		if !ok {
+			return 0, fmt.Errorf("nicsim: %s is not a sketch state", in.State)
+		}
+		e.charge(s.nic.HashCycles)
+		for r := 0; r < sk.rows; r++ {
+			slot := sk.slot(r, args[0])
+			e.now += s.memAccess(sk.region, sk.slotAddr(r, slot), in.Callee == cir.VCSketchAdd, &e.bd)
+		}
+		if in.Callee == cir.VCSketchAdd {
+			return sk.add(args[0]), nil
+		}
+		return sk.read(args[0]), nil
+
+	case cir.VCDPIScan:
+		return e.dpiScan(in.State)
+
+	case cir.VCCrypto:
+		n := int(args[1])
+		if s.cfg.Place.CryptoOnAccel {
+			if accels := s.nic.Accelerators("crypto"); len(accels) > 0 {
+				e.now = s.accelVisit(accels[0], n, e.now, &e.bd)
+				return 0, nil
+			}
+		}
+		// Software crypto: ~30 ALU ops per byte plus key schedule.
+		e.charge(200 + float64(n)*30*s.npu.ClassCycles[cir.ClassALU])
+		return 0, nil
+
+	case cir.VCHash:
+		e.charge(s.nic.HashCycles)
+		h := args[0] * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+		return h, nil
+
+	case cir.VCNow:
+		e.charge(1)
+		return uint64(e.now), nil
+
+	case cir.VCRandom:
+		e.charge(2)
+		return s.random(), nil
+
+	case cir.VCEmit:
+		e.charge(s.nic.MetadataCycles)
+		e.emitted = true
+		return 0, nil
+
+	default:
+		return 0, fmt.Errorf("nicsim: unimplemented vcall %s", in.Callee)
+	}
+}
+
+func (e *exec) mapFor(name string) (*mapState, error) {
+	m, ok := e.s.maps[name]
+	if !ok {
+		return nil, fmt.Errorf("nicsim: %s is not a map state", name)
+	}
+	return m, nil
+}
+
+func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
+	s := e.s
+	m, err := e.mapFor(name)
+	if err != nil {
+		return 0, err
+	}
+	if e.latched == nil {
+		e.latched = map[string]*mapEntry{}
+	}
+	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+		e.now = s.accelVisit(s.fcUnit, 0, e.now, &e.bd)
+		if ent, ok := s.fc.get(name, key); ok {
+			if me, live := ent.(*mapEntry); live {
+				e.latched[name] = me
+				return 1, nil
+			}
+		}
+	}
+	e.charge(s.nic.HashCycles)
+	e.now += s.memAccess(m.region, m.bucketAddr(key), false, &e.bd)
+	ent, found := m.lookup(key)
+	if !found {
+		delete(e.latched, name)
+		return 0, nil
+	}
+	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), false, &e.bd)
+	e.latched[name] = ent
+	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+		s.fc.put(name, key, ent)
+	}
+	return 1, nil
+}
+
+func (e *exec) mapPut(name string, args []uint64) (uint64, error) {
+	s := e.s
+	m, err := e.mapFor(name)
+	if err != nil {
+		return 0, err
+	}
+	var v0, v1 uint64
+	if len(args) > 1 {
+		v0 = args[1]
+	}
+	if len(args) > 2 {
+		v1 = args[2]
+	}
+	e.charge(s.nic.HashCycles)
+	e.now += s.memAccess(m.region, m.bucketAddr(args[0]), false, &e.bd)
+	ent := m.put(args[0], v0, v1)
+	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), true, &e.bd)
+	if e.latched == nil {
+		e.latched = map[string]*mapEntry{}
+	}
+	e.latched[name] = ent
+	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+		s.fc.put(name, args[0], ent)
+	}
+	return 0, nil
+}
+
+func (e *exec) mapIncr(name string, args []uint64) (uint64, error) {
+	s := e.s
+	m, err := e.mapFor(name)
+	if err != nil {
+		return 0, err
+	}
+	key, idx, delta := args[0], int(args[1])&1, args[2]
+	ent := e.latched[name]
+	if ent == nil || e.s.maps[name].entries[key] != ent {
+		e.charge(s.nic.HashCycles)
+		e.now += s.memAccess(m.region, m.bucketAddr(key), false, &e.bd)
+		var found bool
+		ent, found = m.lookup(key)
+		if !found {
+			ent = m.put(key, 0, 0)
+		}
+		if e.latched == nil {
+			e.latched = map[string]*mapEntry{}
+		}
+		e.latched[name] = ent
+	}
+	// Read-modify-write of the entry.
+	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), false, &e.bd)
+	ent.v[idx] += delta
+	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), true, &e.bd)
+	return ent.v[idx], nil
+}
+
+func (e *exec) lpmLookup(name string, addr uint32) (uint64, error) {
+	s := e.s
+	l, ok := s.lpms[name]
+	if !ok {
+		return 0, fmt.Errorf("nicsim: %s is not an lpm state", name)
+	}
+	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+		key := e.flowHash()
+		e.now = s.accelVisit(s.fcUnit, 0, e.now, &e.bd)
+		if v, okc := s.fc.get(name, key); okc {
+			return v.(uint64), nil
+		}
+		nh := e.lpmScan(l, addr)
+		s.fc.put(name, key, nh)
+		return nh, nil
+	}
+	return e.lpmScan(l, addr), nil
+}
+
+// lpmScan charges the software match/action scan over the rule table in
+// memory — the expensive path the flow cache short-circuits (§2.1).
+func (e *exec) lpmScan(l *lpmState, addr uint32) uint64 {
+	s := e.s
+	entrySize := l.obj.KeySize + l.obj.ValueSize
+	if entrySize <= 0 {
+		entrySize = 8
+	}
+	lineBytes := s.nic.Mems[l.region].LineBytes
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	total := l.entries() * entrySize
+	for off := 0; off < total; off += lineBytes {
+		e.now += s.memAccess(l.region, l.base+uint64(off), false, &e.bd)
+	}
+	// Two compare/mask ALU ops per rule.
+	e.charge(float64(l.entries()) * 2 * s.npu.ClassCycles[cir.ClassALU])
+	return l.lookup(addr)
+}
+
+func (e *exec) dpiScan(name string) (uint64, error) {
+	s := e.s
+	p, ok := s.patterns[name]
+	if !ok {
+		return 0, fmt.Errorf("nicsim: %s is not a pattern state", name)
+	}
+	payload := e.pkt.Payload
+	i := 0
+	matches := p.ac.Scan(payload, func(state int32) {
+		e.payloadRead(i)
+		i++
+		// One automaton transition fetch: the DFA row of the next state.
+		rowAddr := p.base + uint64(state)*1024
+		e.now += s.memAccess(p.region, rowAddr, false, &e.bd)
+		e.charge(2)
+	})
+	return uint64(matches), nil
+}
+
+func (e *exec) hasProto(proto uint64) bool {
+	switch proto {
+	case cir.ProtoEth:
+		return e.pkt.HasEth
+	case cir.ProtoIPv4:
+		return e.pkt.HasIP4
+	case cir.ProtoIPv6:
+		return e.pkt.HasIP6
+	case cir.ProtoTCP:
+		return e.pkt.HasTCP
+	case cir.ProtoUDP:
+		return e.pkt.HasUDP
+	case cir.ProtoICMP:
+		return e.pkt.HasICMP
+	default:
+		return false
+	}
+}
+
+// readField reads a header field. Transport fields (ports, flags, seq...)
+// read from whichever L4 header the packet carries, so NFs gated on
+// "tcp || udp" can use one code path, mirroring how NIC metadata exposes
+// L4 fields.
+func (e *exec) readField(proto, field uint64) uint64 {
+	p := &e.pkt
+	switch field {
+	case cir.FieldSrcAddr:
+		if p.HasIP4 {
+			return uint64(p.IP4.Src.Uint32())
+		}
+	case cir.FieldDstAddr:
+		if p.HasIP4 {
+			return uint64(p.IP4.Dst.Uint32())
+		}
+	case cir.FieldSrcPort:
+		if p.HasTCP {
+			return uint64(p.TCP.SrcPort)
+		}
+		if p.HasUDP {
+			return uint64(p.UDP.SrcPort)
+		}
+	case cir.FieldDstPort:
+		if p.HasTCP {
+			return uint64(p.TCP.DstPort)
+		}
+		if p.HasUDP {
+			return uint64(p.UDP.DstPort)
+		}
+	case cir.FieldProto:
+		if p.HasIP4 {
+			return uint64(p.IP4.Protocol)
+		}
+		if p.HasIP6 {
+			return uint64(p.IP6.NextHeader)
+		}
+	case cir.FieldTTL:
+		if p.HasIP4 {
+			return uint64(p.IP4.TTL)
+		}
+		if p.HasIP6 {
+			return uint64(p.IP6.HopLimit)
+		}
+	case cir.FieldLen:
+		if p.HasIP4 {
+			return uint64(p.IP4.Length)
+		}
+		return uint64(len(e.wire))
+	case cir.FieldFlags:
+		if p.HasTCP {
+			return uint64(p.TCP.Flags)
+		}
+	case cir.FieldTOS:
+		if p.HasIP4 {
+			return uint64(p.IP4.TOS)
+		}
+	case cir.FieldID:
+		if p.HasIP4 {
+			return uint64(p.IP4.ID)
+		}
+	case cir.FieldSeq:
+		if p.HasTCP {
+			return uint64(p.TCP.Seq)
+		}
+	case cir.FieldAck:
+		if p.HasTCP {
+			return uint64(p.TCP.Ack)
+		}
+	case cir.FieldWindow:
+		if p.HasTCP {
+			return uint64(p.TCP.Window)
+		}
+	case cir.FieldEthType:
+		if p.HasEth {
+			return uint64(p.Eth.Type)
+		}
+	}
+	return 0
+}
+
+func (e *exec) writeField(proto, field, val uint64) {
+	p := &e.pkt
+	switch field {
+	case cir.FieldSrcAddr:
+		if p.HasIP4 {
+			p.IP4.Src = packet.IPv4FromUint32(uint32(val))
+		}
+	case cir.FieldDstAddr:
+		if p.HasIP4 {
+			p.IP4.Dst = packet.IPv4FromUint32(uint32(val))
+		}
+	case cir.FieldSrcPort:
+		if p.HasTCP {
+			p.TCP.SrcPort = uint16(val)
+		} else if p.HasUDP {
+			p.UDP.SrcPort = uint16(val)
+		}
+	case cir.FieldDstPort:
+		if p.HasTCP {
+			p.TCP.DstPort = uint16(val)
+		} else if p.HasUDP {
+			p.UDP.DstPort = uint16(val)
+		}
+	case cir.FieldTTL:
+		if p.HasIP4 {
+			p.IP4.TTL = uint8(val)
+		} else if p.HasIP6 {
+			p.IP6.HopLimit = uint8(val)
+		}
+	case cir.FieldTOS:
+		if p.HasIP4 {
+			p.IP4.TOS = uint8(val)
+		}
+	case cir.FieldID:
+		if p.HasIP4 {
+			p.IP4.ID = uint16(val)
+		}
+	case cir.FieldSeq:
+		if p.HasTCP {
+			p.TCP.Seq = uint32(val)
+		}
+	case cir.FieldAck:
+		if p.HasTCP {
+			p.TCP.Ack = uint32(val)
+		}
+	case cir.FieldWindow:
+		if p.HasTCP {
+			p.TCP.Window = uint16(val)
+		}
+	}
+	_ = proto
+}
+
+// flowCache is the flow-cache accelerator's SRAM table: an LRU exact-match
+// cache from (state, key) to either a *mapEntry or an LPM result.
+type flowCache struct {
+	capacity     int
+	entries      map[fcKey]*fcNode
+	head, tail   *fcNode
+	hits, misses uint64
+}
+
+type fcKey struct {
+	state string
+	key   uint64
+}
+
+type fcNode struct {
+	k          fcKey
+	v          interface{}
+	prev, next *fcNode
+}
+
+func newFlowCache(capacity int) *flowCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &flowCache{capacity: capacity, entries: map[fcKey]*fcNode{}}
+}
+
+func (f *flowCache) get(state string, key uint64) (interface{}, bool) {
+	n, ok := f.entries[fcKey{state, key}]
+	if !ok {
+		f.misses++
+		return nil, false
+	}
+	f.hits++
+	f.moveFront(n)
+	return n.v, true
+}
+
+func (f *flowCache) put(state string, key uint64, v interface{}) {
+	k := fcKey{state, key}
+	if n, ok := f.entries[k]; ok {
+		n.v = v
+		f.moveFront(n)
+		return
+	}
+	n := &fcNode{k: k, v: v}
+	f.entries[k] = n
+	f.pushFront(n)
+	if len(f.entries) > f.capacity {
+		// Evict LRU.
+		lru := f.tail
+		f.unlink(lru)
+		delete(f.entries, lru.k)
+	}
+}
+
+func (f *flowCache) invalidate(state string, key uint64) {
+	k := fcKey{state, key}
+	if n, ok := f.entries[k]; ok {
+		f.unlink(n)
+		delete(f.entries, k)
+	}
+}
+
+func (f *flowCache) HitRate() float64 {
+	total := f.hits + f.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(f.hits) / float64(total)
+}
+
+func (f *flowCache) pushFront(n *fcNode) {
+	n.prev = nil
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *flowCache) unlink(n *fcNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (f *flowCache) moveFront(n *fcNode) {
+	if f.head == n {
+		return
+	}
+	f.unlink(n)
+	f.pushFront(n)
+}

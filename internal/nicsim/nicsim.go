@@ -1,0 +1,509 @@
+// Package nicsim is a cycle-level SmartNIC simulator. It plays the role the
+// physical Netronome Agilio CX played in the paper's validation (§4): the
+// "Actual" side of every Predicted-vs-Actual comparison. It executes a
+// lowered NF (CIR) against real packet bytes and real state — flow tables,
+// LPM rules, count-min sketches, Aho-Corasick DPI automata — charging cycle
+// costs drawn from the same databook parameters the LNIC profile publishes,
+// but with the microarchitectural detail Clara's analytic predictor
+// deliberately approximates: a concrete set-associative cache, FIFO
+// accelerator queues with head-of-line blocking, per-thread dispatch, and
+// packet-buffer tail spill. The residual between the two is Clara's
+// prediction error, arising for the same structural reasons as on hardware.
+package nicsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clara/internal/cir"
+	"clara/internal/lnic"
+	"clara/internal/packet"
+	"clara/internal/workload"
+)
+
+// Placement carries the mapping decisions the simulator honors when
+// executing an NF — the product of the ILP mapper, or of a hand-written
+// porting strategy (the paper's Figure 1 variants are exactly such
+// placements).
+type Placement struct {
+	// StateMem maps each state object to an LNIC memory region ID.
+	StateMem map[string]int
+	// UseFlowCache marks states whose lookups are fronted by the flow-cache
+	// accelerator (per-flow result caching, §2.1's LPM example).
+	UseFlowCache map[string]bool
+	// ChecksumOnAccel routes checksum_pkt to the checksum accelerator
+	// instead of NPU software.
+	ChecksumOnAccel bool
+	// CryptoOnAccel routes crypto() to the crypto accelerator.
+	CryptoOnAccel bool
+	// ParseOnEngine performs header parsing at the ingress parser engine,
+	// making get_hdr a cheap metadata read on the cores.
+	ParseOnEngine bool
+}
+
+// DefaultPlacement places every state object in the largest (last-level)
+// memory and uses no accelerators — the most naive port.
+func DefaultPlacement(nic *lnic.LNIC, prog *cir.Program) Placement {
+	last := len(nic.Mems) - 1
+	p := Placement{
+		StateMem:     map[string]int{},
+		UseFlowCache: map[string]bool{},
+	}
+	for _, s := range prog.State {
+		p.StateMem[s.Name] = last
+	}
+	return p
+}
+
+// Config configures one simulation.
+type Config struct {
+	NIC   *lnic.LNIC
+	Prog  *cir.Program
+	Place Placement
+	// Preload installs entries into named states before the run (LPM rule
+	// tables). Values are entry counts.
+	Preload map[string]int
+	Seed    int64
+}
+
+// Breakdown splits a packet's cycles by where they were spent.
+type Breakdown struct {
+	Compute float64 // instruction execution on cores
+	Mem     float64 // state and packet memory access
+	Accel   float64 // accelerator service time
+	Queue   float64 // waiting: thread dispatch, accelerator and hub queues
+	Fixed   float64 // ingress/parse/egress engine service
+}
+
+// Total returns the summed breakdown.
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.Mem + b.Accel + b.Queue + b.Fixed
+}
+
+// PacketResult records one packet's simulated journey.
+type PacketResult struct {
+	ArrivalCycles float64
+	DoneCycles    float64
+	Latency       float64 // cycles
+	Verdict       uint64
+	Class         string // "tcp-syn", "tcp", "udp", "icmp", "other"
+	Breakdown     Breakdown
+}
+
+// Result is a completed simulation.
+type Result struct {
+	NFName  string
+	Packets []PacketResult
+	// CacheHitRate per cached region name.
+	CacheHitRate map[string]float64
+	// FlowCacheHitRate is hits/lookups at the flow-cache accelerator (NaN
+	// if unused).
+	FlowCacheHitRate float64
+	Errors           int // packets whose execution faulted (counted, skipped)
+}
+
+// MeanLatency returns the average latency in cycles.
+func (r *Result) MeanLatency() float64 {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range r.Packets {
+		sum += r.Packets[i].Latency
+	}
+	return sum / float64(len(r.Packets))
+}
+
+// Percentile returns the p-th (0..100) latency percentile in cycles.
+func (r *Result) Percentile(p float64) float64 {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	lat := make([]float64, len(r.Packets))
+	for i := range r.Packets {
+		lat[i] = r.Packets[i].Latency
+	}
+	sort.Float64s(lat)
+	idx := int(p / 100 * float64(len(lat)-1))
+	return lat[idx]
+}
+
+// MeanLatencyByClass returns per-packet-class mean latencies.
+func (r *Result) MeanLatencyByClass() map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for i := range r.Packets {
+		sums[r.Packets[i].Class] += r.Packets[i].Latency
+		counts[r.Packets[i].Class]++
+	}
+	out := map[string]float64{}
+	for c, s := range sums {
+		out[c] = s / float64(counts[c])
+	}
+	return out
+}
+
+// MeanBreakdown averages the per-packet breakdowns.
+func (r *Result) MeanBreakdown() Breakdown {
+	var b Breakdown
+	n := float64(len(r.Packets))
+	if n == 0 {
+		return b
+	}
+	for i := range r.Packets {
+		p := &r.Packets[i].Breakdown
+		b.Compute += p.Compute
+		b.Mem += p.Mem
+		b.Accel += p.Accel
+		b.Queue += p.Queue
+		b.Fixed += p.Fixed
+	}
+	b.Compute /= n
+	b.Mem /= n
+	b.Accel /= n
+	b.Queue /= n
+	b.Fixed /= n
+	return b
+}
+
+// Sim is a configured simulator. It is not safe for concurrent use.
+type Sim struct {
+	cfg  Config
+	nic  *lnic.LNIC
+	prog *cir.Program
+
+	maps     map[string]*mapState
+	lpms     map[string]*lpmState
+	sketches map[string]*sketchState
+	arrays   map[string]*arrayState
+	patterns map[string]*patternState
+
+	caches map[int]*cache // region ID → cache
+
+	threadFree []float64
+	// unitFree holds per-server next-free times for accelerators, parser
+	// and egress engines (a unit with N threads is N parallel servers).
+	unitFree map[int][]float64
+	hubFree  [][]float64
+
+	fcUnit int // flow-cache accelerator unit ID, -1 when absent
+	fc     *flowCache
+
+	npu      *lnic.ComputeUnit // representative general core for pricing
+	npuUnit  int
+	rngState uint64
+}
+
+// New validates the configuration and builds a simulator with preloaded
+// state.
+func New(cfg Config) (*Sim, error) {
+	if cfg.NIC == nil || cfg.Prog == nil {
+		return nil, fmt.Errorf("nicsim: nil NIC or program")
+	}
+	if err := cfg.NIC.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cir.Verify(cfg.Prog); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:  cfg,
+		nic:  cfg.NIC,
+		prog: cfg.Prog,
+		maps: map[string]*mapState{}, lpms: map[string]*lpmState{},
+		sketches: map[string]*sketchState{}, arrays: map[string]*arrayState{},
+		patterns: map[string]*patternState{},
+		caches:   map[int]*cache{},
+		unitFree: map[int][]float64{},
+		fcUnit:   -1,
+		rngState: uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+	}
+	// One representative general core prices instruction execution; MAU
+	// stages stand in on core-less ASICs.
+	gp := s.nic.UnitsOfKind(lnic.UnitNPU)
+	if len(gp) == 0 {
+		gp = s.nic.UnitsOfKind(lnic.UnitMAU)
+	}
+	if len(gp) == 0 {
+		return nil, fmt.Errorf("nicsim: LNIC %s has no programmable units", s.nic.Name)
+	}
+	s.npuUnit = gp[0]
+	s.npu = &s.nic.Units[s.npuUnit]
+
+	// Thread pool across all general cores.
+	total := 0
+	for _, id := range gp {
+		total += s.nic.Units[id].Threads
+	}
+	s.threadFree = make([]float64, total)
+	s.hubFree = make([][]float64, len(s.nic.Hubs))
+
+	for i := range s.nic.Mems {
+		m := &s.nic.Mems[i]
+		if m.CacheBytes > 0 {
+			s.caches[m.ID] = newCache(m.CacheBytes, m.LineBytes)
+		}
+	}
+	if fcs := s.nic.Accelerators("flowcache"); len(fcs) > 0 {
+		s.fcUnit = fcs[0]
+		s.fc = newFlowCache(s.nic.Units[s.fcUnit].TableEntries)
+	}
+
+	// Place state: allocate simulated addresses region by region.
+	alloc := map[int]uint64{}
+	nextAddr := func(region int, bytes int) uint64 {
+		base := alloc[region]
+		alloc[region] = base + uint64(bytes+63)&^63
+		return base
+	}
+	for _, obj := range s.prog.State {
+		region, ok := cfg.Place.StateMem[obj.Name]
+		if !ok {
+			region = len(s.nic.Mems) - 1
+		}
+		if region < 0 || region >= len(s.nic.Mems) {
+			return nil, fmt.Errorf("nicsim: state %s placed in unknown region %d", obj.Name, region)
+		}
+		switch obj.Kind {
+		case cir.StateMap:
+			s.maps[obj.Name] = newMapState(obj, region, nextAddr(region, obj.Bytes()))
+		case cir.StateLPM:
+			entries := cfg.Preload[obj.Name]
+			if entries <= 0 {
+				entries = obj.Capacity
+			}
+			s.lpms[obj.Name] = newLPMState(obj, region, nextAddr(region, obj.Bytes()), entries, cfg.Seed+int64(len(obj.Name)))
+		case cir.StateSketch:
+			s.sketches[obj.Name] = newSketchState(obj, region, nextAddr(region, obj.Bytes()))
+		case cir.StateArray:
+			arr := newArrayState(obj, region, nextAddr(region, obj.Bytes()))
+			if n := cfg.Preload[obj.Name]; n > 0 {
+				// Pre-install deterministic values (backend IDs, weights).
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(len(obj.Name))))
+				for i := 0; i < n && i < len(arr.vals); i++ {
+					arr.vals[i] = uint64(rng.Intn(256))
+				}
+			}
+			s.arrays[obj.Name] = arr
+		case cir.StatePattern:
+			ac := buildAC(s.prog.Patterns[obj.Name])
+			s.patterns[obj.Name] = &patternState{
+				obj: obj, region: region,
+				base: nextAddr(region, ac.FootprintBytes()),
+				ac:   ac,
+			}
+		}
+	}
+	return s, nil
+}
+
+// Run replays the trace through the NF and returns per-packet results.
+func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
+	res := &Result{
+		NFName:       s.prog.Name,
+		Packets:      make([]PacketResult, 0, len(tr.Packets)),
+		CacheHitRate: map[string]float64{},
+	}
+	interp := cir.NewInterp(s.prog)
+	clock := s.nic.ClockGHz
+	for i := range tr.Packets {
+		tp := &tr.Packets[i]
+		arrival := tp.ArrivalNs * clock
+
+		e := &exec{s: s, wire: tp.Data, pktIndex: i}
+		if err := e.pkt.Decode(tp.Data); err != nil {
+			// Malformed frames traverse the NIC switch only.
+			t := s.hubVisit(0, arrival, &e.bd)
+			res.Packets = append(res.Packets, PacketResult{
+				ArrivalCycles: arrival, DoneCycles: t, Latency: t - arrival,
+				Verdict: cir.VerdictPass, Class: "other", Breakdown: e.bd,
+			})
+			continue
+		}
+
+		t := arrival
+		// Ingress: traffic-manager hub, DMA into packet memory, optional
+		// parse engine.
+		if len(s.nic.Hubs) > 0 {
+			t = s.hubVisit(0, t, &e.bd)
+		}
+		dma := float64(len(tp.Data)/64+1) * 1.0
+		t += dma
+		e.bd.Fixed += dma
+		if s.cfg.Place.ParseOnEngine {
+			if parsers := s.nic.UnitsOfKind(lnic.UnitParser); len(parsers) > 0 {
+				t = s.engineVisit(parsers[0], t, &e.bd)
+			}
+		}
+
+		// Dispatch to the earliest-free NPU thread (a packet binds to one
+		// thread, §3.2).
+		th := 0
+		for j := 1; j < len(s.threadFree); j++ {
+			if s.threadFree[j] < s.threadFree[th] {
+				th = j
+			}
+		}
+		start := math.Max(t, s.threadFree[th])
+		e.bd.Queue += start - t
+		e.now = start
+
+		verdict, err := interp.Run(e, &cir.Hooks{OnInstr: e.onInstr, MaxSteps: 5_000_000})
+		if err != nil {
+			res.Errors++
+			s.threadFree[th] = e.now
+			continue
+		}
+		s.threadFree[th] = e.now
+
+		done := e.now
+		if verdict == cir.VerdictPass && e.emitted {
+			// Egress engine + switch hop. Packets reach these at completion
+			// times that are out of order across threads, and both stages
+			// are far overprovisioned for any workload here, so they add
+			// service latency without queueing contention (sequential
+			// server bookkeeping at out-of-order visit times would
+			// manufacture phantom waits behind long-running packets).
+			if eg := s.nic.UnitsOfKind(lnic.UnitEgress); len(eg) > 0 {
+				svc := s.nic.Units[eg[0]].FixedCycles
+				done += svc
+				e.bd.Fixed += svc
+			}
+			if len(s.nic.Hubs) > 1 {
+				svc := s.nic.Hubs[1].ServiceCycles
+				done += svc
+				e.bd.Fixed += svc
+			}
+		}
+
+		res.Packets = append(res.Packets, PacketResult{
+			ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
+			Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
+		})
+	}
+	for id, c := range s.caches {
+		res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+	}
+	if s.fc != nil {
+		res.FlowCacheHitRate = s.fc.HitRate()
+	} else {
+		res.FlowCacheHitRate = math.NaN()
+	}
+	return res, nil
+}
+
+// hubServers is the switching parallelism of a hub: fabrics move several
+// packets at once, so a hub is a small server pool rather than one FIFO.
+const hubServers = 8
+
+func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) float64 {
+	h := &s.nic.Hubs[hub]
+	servers := s.hubFree[hub]
+	if servers == nil {
+		servers = make([]float64, hubServers)
+		s.hubFree[hub] = servers
+	}
+	best := 0
+	for i := 1; i < len(servers); i++ {
+		if servers[i] < servers[best] {
+			best = i
+		}
+	}
+	start := math.Max(t, servers[best])
+	bd.Queue += start - t
+	done := start + h.ServiceCycles
+	bd.Fixed += h.ServiceCycles
+	servers[best] = done
+	return done
+}
+
+func classify(p *packet.Packet) string {
+	switch {
+	case p.HasTCP && p.TCP.Flags.Has(packet.FlagSYN):
+		return "tcp-syn"
+	case p.HasTCP:
+		return "tcp"
+	case p.HasUDP:
+		return "udp"
+	case p.HasICMP:
+		return "icmp"
+	default:
+		return "other"
+	}
+}
+
+// memAccess charges one access from the general cores into a region at a
+// concrete address, consulting the region's cache if it has one.
+func (s *Sim) memAccess(region int, addr uint64, store bool, bd *Breakdown) float64 {
+	m := &s.nic.Mems[region]
+	if c := s.caches[region]; c != nil {
+		if c.access(addr) {
+			bd.Mem += m.CacheHitCycles
+			return m.CacheHitCycles
+		}
+	}
+	base, ok := s.nic.AccessCycles(s.npuUnit, region, store)
+	if !ok {
+		// Region unreachable from the cores; price it as the raw latency.
+		base = m.LoadCycles
+		if store {
+			base = m.StoreCycles
+		}
+	}
+	bd.Mem += base
+	return base
+}
+
+// accelVisit models an accelerator visit with head-of-line blocking: the
+// calling thread stalls until one of the unit's servers (its Threads) is
+// free and serves this request.
+func (s *Sim) accelVisit(unit int, bytes int, now float64, bd *Breakdown) float64 {
+	u := &s.nic.Units[unit]
+	svc := u.FixedCycles + u.PerByteCycles*float64(bytes)
+	start := s.claimServer(unit, now, svc)
+	bd.Queue += start - now
+	bd.Accel += svc
+	return start + svc
+}
+
+// engineVisit is accelVisit for fixed-function engines (parser, egress),
+// booking only the unit's fixed service time.
+func (s *Sim) engineVisit(unit int, now float64, bd *Breakdown) float64 {
+	u := &s.nic.Units[unit]
+	start := s.claimServer(unit, now, u.FixedCycles)
+	bd.Queue += start - now
+	bd.Fixed += u.FixedCycles
+	return start + u.FixedCycles
+}
+
+// claimServer finds the unit's earliest-free server, books svc cycles on it
+// starting no earlier than now, and returns the start time.
+func (s *Sim) claimServer(unit int, now, svc float64) float64 {
+	servers, ok := s.unitFree[unit]
+	if !ok {
+		n := s.nic.Units[unit].Threads
+		if n < 1 {
+			n = 1
+		}
+		servers = make([]float64, n)
+		s.unitFree[unit] = servers
+	}
+	best := 0
+	for i := 1; i < len(servers); i++ {
+		if servers[i] < servers[best] {
+			best = i
+		}
+	}
+	start := math.Max(now, servers[best])
+	servers[best] = start + svc
+	return start
+}
+
+func (s *Sim) random() uint64 {
+	s.rngState ^= s.rngState << 13
+	s.rngState ^= s.rngState >> 7
+	s.rngState ^= s.rngState << 17
+	return s.rngState
+}

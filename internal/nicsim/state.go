@@ -1,0 +1,250 @@
+package nicsim
+
+import (
+	"math/rand"
+	"sort"
+
+	"clara/internal/cir"
+)
+
+// mapEntry is one exact-match table entry. Index is stable from insertion
+// and anchors the entry's simulated memory address.
+type mapEntry struct {
+	idx int
+	v   [2]uint64
+}
+
+// mapState is an exact-match key/value table keyed by opaque key handles
+// (flow hashes).
+type mapState struct {
+	obj      cir.StateObj
+	region   int
+	base     uint64
+	entries  map[uint64]*mapEntry
+	order    []uint64 // insertion order, for FIFO replacement when full
+	nextIdx  int
+	replaced int
+}
+
+func newMapState(obj cir.StateObj, region int, base uint64) *mapState {
+	return &mapState{obj: obj, region: region, base: base, entries: map[uint64]*mapEntry{}}
+}
+
+// entryAddr returns the simulated address of entry idx.
+func (m *mapState) entryAddr(idx int) uint64 {
+	per := uint64(m.obj.KeySize + m.obj.ValueSize)
+	if per == 0 {
+		per = 1
+	}
+	return m.base + uint64(idx)*per
+}
+
+// bucketAddr returns the simulated address of the hash bucket for a key.
+func (m *mapState) bucketAddr(key uint64) uint64 {
+	cap := uint64(m.obj.Capacity)
+	if cap == 0 {
+		cap = 1
+	}
+	return m.base + (key%cap)*8%uint64(m.obj.Bytes()+1)
+}
+
+func (m *mapState) lookup(key uint64) (*mapEntry, bool) {
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+func (m *mapState) put(key uint64, v0, v1 uint64) *mapEntry {
+	if e, ok := m.entries[key]; ok {
+		e.v[0], e.v[1] = v0, v1
+		return e
+	}
+	if m.obj.Capacity > 0 && len(m.entries) >= m.obj.Capacity {
+		// FIFO replacement of the oldest live entry.
+		for len(m.order) > 0 {
+			victim := m.order[0]
+			m.order = m.order[1:]
+			if _, ok := m.entries[victim]; ok {
+				delete(m.entries, victim)
+				m.replaced++
+				break
+			}
+		}
+	}
+	e := &mapEntry{idx: m.nextIdx, v: [2]uint64{v0, v1}}
+	m.nextIdx++
+	m.entries[key] = e
+	m.order = append(m.order, key)
+	return e
+}
+
+func (m *mapState) del(key uint64) {
+	delete(m.entries, key)
+}
+
+// lpmRule is one route of the LPM table.
+type lpmRule struct {
+	prefix uint32
+	plen   uint8
+	nh     uint32
+}
+
+// lpmState is a longest-prefix-match table. The functional lookup is exact
+// LPM semantics; the *cost* of a lookup is charged separately by the env as
+// a linear match/action scan over the table's memory (the software
+// implementation the paper's LPM NF uses when the flow cache is off).
+type lpmState struct {
+	obj    cir.StateObj
+	region int
+	base   uint64
+	rules  []lpmRule
+	// byLen[plen] maps masked prefixes to next hops, longest first.
+	byLen map[uint8]map[uint32]uint32
+	lens  []uint8 // descending
+}
+
+func newLPMState(obj cir.StateObj, region int, base uint64, entries int, seed int64) *lpmState {
+	l := &lpmState{obj: obj, region: region, base: base, byLen: map[uint8]map[uint32]uint32{}}
+	rng := rand.New(rand.NewSource(seed))
+	// Default route so every packet forwards (next hop 0).
+	l.install(lpmRule{prefix: 0, plen: 0, nh: 0})
+	// Rules concentrated where the workload generator places destinations
+	// (192.168.0.0/16), plus scattered internet-style prefixes. Duplicates
+	// are retried so the table holds exactly `entries` rules — the scan cost
+	// (and the paper's Figure 3a x-axis) is defined by live entries.
+	for attempts := 0; l.entries() < entries && attempts < entries*100+10000; attempts++ {
+		var r lpmRule
+		if attempts%4 == 0 {
+			plen := uint8(17 + rng.Intn(14)) // /17../30 inside 192.168/16
+			addr := 0xc0a80000 | uint32(rng.Intn(1<<16))
+			r = lpmRule{prefix: mask(addr, plen), plen: plen, nh: uint32(rng.Intn(16))}
+		} else {
+			plen := uint8(8 + rng.Intn(21)) // /8../28 anywhere
+			addr := rng.Uint32()
+			r = lpmRule{prefix: mask(addr, plen), plen: plen, nh: uint32(rng.Intn(16))}
+		}
+		l.install(r)
+	}
+	return l
+}
+
+func (l *lpmState) install(r lpmRule) {
+	m, ok := l.byLen[r.plen]
+	if !ok {
+		m = map[uint32]uint32{}
+		l.byLen[r.plen] = m
+		l.lens = append(l.lens, r.plen)
+		sort.Slice(l.lens, func(i, j int) bool { return l.lens[i] > l.lens[j] })
+	}
+	if _, dup := m[r.prefix]; !dup {
+		l.rules = append(l.rules, r)
+	}
+	m[r.prefix] = r.nh
+}
+
+// lookup returns the next hop for addr, or ^uint64(0) on miss.
+func (l *lpmState) lookup(addr uint32) uint64 {
+	for _, plen := range l.lens {
+		if nh, ok := l.byLen[plen][mask(addr, plen)]; ok {
+			return uint64(nh)
+		}
+	}
+	return ^uint64(0)
+}
+
+// entries returns the live rule count (drives the scan cost).
+func (l *lpmState) entries() int { return len(l.rules) }
+
+func mask(addr uint32, plen uint8) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	return addr &^ (1<<(32-uint32(plen)) - 1)
+}
+
+// sketchState is a count-min sketch with 4 rows.
+type sketchState struct {
+	obj    cir.StateObj
+	region int
+	base   uint64
+	rows   int
+	width  int
+	counts [][]uint32
+}
+
+func newSketchState(obj cir.StateObj, region int, base uint64) *sketchState {
+	rows := 4
+	width := obj.Capacity / rows
+	if width < 16 {
+		width = 16
+	}
+	s := &sketchState{obj: obj, region: region, base: base, rows: rows, width: width}
+	s.counts = make([][]uint32, rows)
+	for i := range s.counts {
+		s.counts[i] = make([]uint32, width)
+	}
+	return s
+}
+
+func (s *sketchState) slot(row int, key uint64) int {
+	h := key*0x9e3779b97f4a7c15 + uint64(row)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return int(h % uint64(s.width))
+}
+
+func (s *sketchState) slotAddr(row, slot int) uint64 {
+	return s.base + uint64(row*s.width+slot)*uint64(s.obj.ValueSize)
+}
+
+// add increments the key's counters and returns the min estimate after.
+func (s *sketchState) add(key uint64) uint64 {
+	est := ^uint64(0)
+	for r := 0; r < s.rows; r++ {
+		i := s.slot(r, key)
+		s.counts[r][i]++
+		if v := uint64(s.counts[r][i]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// read returns the min estimate without modifying the sketch.
+func (s *sketchState) read(key uint64) uint64 {
+	est := ^uint64(0)
+	for r := 0; r < s.rows; r++ {
+		if v := uint64(s.counts[r][s.slot(r, key)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// arrayState is a direct-indexed counter/value array.
+type arrayState struct {
+	obj    cir.StateObj
+	region int
+	base   uint64
+	vals   []uint64
+}
+
+func newArrayState(obj cir.StateObj, region int, base uint64) *arrayState {
+	n := obj.Capacity
+	if n < 1 {
+		n = 1
+	}
+	return &arrayState{obj: obj, region: region, base: base, vals: make([]uint64, n)}
+}
+
+func (a *arrayState) idx(i uint64) int { return int(i % uint64(len(a.vals))) }
+
+func (a *arrayState) addr(i int) uint64 {
+	return a.base + uint64(i)*uint64(a.obj.ValueSize)
+}
+
+// patternState holds a DPI pattern automaton.
+type patternState struct {
+	obj    cir.StateObj
+	region int
+	base   uint64
+	ac     *acAutomaton
+}

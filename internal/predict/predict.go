@@ -1,0 +1,326 @@
+// Package predict produces Clara's output artifact: the performance profile
+// of an unported NF on a target SmartNIC under a given workload (§3.5 of the
+// paper). Given a solved mapping, it simulates how each packet *class*
+// traverses the parameterized LNIC — re-running the CIR interpreter with an
+// expectation-based cost environment rather than concrete
+// microarchitectural state — and aggregates the per-class latencies with
+// workload-derived class probabilities. It also estimates idealized
+// throughput by bottleneck analysis and supports interference analysis via
+// LNIC slicing.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"clara/internal/cir"
+	"clara/internal/lnic"
+	"clara/internal/mapper"
+	"clara/internal/symexec"
+)
+
+// Options tune the workload-unobservable attribute rates.
+type Options struct {
+	// DPIMatchRate is P(payload matches a DPI signature); default 0.01.
+	DPIMatchRate float64
+	// HeavyRate is P(flow is a heavy hitter / out of meter tokens);
+	// default 0.05.
+	HeavyRate float64
+	// NoQueueing disables the M/M/c waiting-time correction (ablation).
+	NoQueueing bool
+}
+
+// ClassPrediction is the latency prediction for one packet class — the
+// §3.5 example output ("TCP SYN packets experience higher latency, but the
+// following packets will hit the flow cache").
+type ClassPrediction struct {
+	Name   string
+	Attrs  symexec.Attrs
+	Prob   float64
+	Cycles float64
+	// EnergyNJ is the predicted per-packet energy for this class in
+	// nanojoules (§6's energy-analysis extension).
+	EnergyNJ float64
+	Verdict  uint64
+}
+
+// Prediction is a complete performance profile.
+type Prediction struct {
+	NFName   string
+	NICName  string
+	PerClass []ClassPrediction
+	// MeanCycles is the expected per-packet latency in NIC cycles,
+	// including fixed ingress/egress overhead and queueing correction.
+	MeanCycles float64
+	// MeanNanos converts MeanCycles at the NIC clock.
+	MeanNanos float64
+	// FixedCycles is the ingress/egress/switch overhead component.
+	FixedCycles float64
+	// QueueCycles is the analytic queueing-delay component at the offered
+	// rate.
+	QueueCycles float64
+	// ThroughputPPS is the idealized saturation throughput.
+	ThroughputPPS float64
+	// Bottleneck names the resource limiting throughput.
+	Bottleneck string
+	// Saturated reports that the offered rate exceeds predicted capacity.
+	Saturated bool
+	// EnergyNJ is the expected per-packet processing energy in nanojoules;
+	// PowerWatts is EnergyNJ at the offered rate.
+	EnergyNJ   float64
+	PowerWatts float64
+}
+
+// String renders the profile.
+func (p *Prediction) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prediction: %s on %s\n", p.NFName, p.NICName)
+	fmt.Fprintf(&b, "  mean latency: %.0f cycles (%.0f ns)\n", p.MeanCycles, p.MeanNanos)
+	fmt.Fprintf(&b, "  fixed overhead: %.0f cycles, queueing: %.0f cycles\n", p.FixedCycles, p.QueueCycles)
+	fmt.Fprintf(&b, "  idealized throughput: %.0f pps (bottleneck: %s)\n", p.ThroughputPPS, p.Bottleneck)
+	fmt.Fprintf(&b, "  energy: %.1f nJ/pkt (%.2f W at the offered rate)\n", p.EnergyNJ, p.PowerWatts)
+	if p.Saturated {
+		fmt.Fprintf(&b, "  WARNING: offered rate exceeds predicted capacity\n")
+	}
+	for _, c := range p.PerClass {
+		fmt.Fprintf(&b, "  class %-24s p=%.3f  %.0f cycles  verdict=%d\n", c.Name, c.Prob, c.Cycles, c.Verdict)
+	}
+	return b.String()
+}
+
+// Predict computes the performance profile of prog mapped by m onto nic
+// under workload wl.
+func Predict(prog *cir.Program, m *mapper.Mapping, nic *lnic.LNIC, wl mapper.Workload, opts Options) (*Prediction, error) {
+	classes, err := symexec.Enumerate(prog)
+	if err != nil {
+		return nil, err
+	}
+	w := symexec.WeightsFor(wl)
+	if opts.DPIMatchRate > 0 {
+		w.DPIMatch = opts.DPIMatchRate
+	}
+	if opts.HeavyRate > 0 {
+		w.Heavy = opts.HeavyRate
+	}
+	probs := symexec.Normalize(classes, w)
+	cm := mapper.NewCostModel(nic, wl)
+
+	pred := &Prediction{NFName: prog.Name, NICName: nic.Name}
+	var meanExec, meanAccelUse, meanAccelSvc float64
+	accelUse := map[string]float64{} // accel class → expected visits/packet
+	accelSvc := map[string]float64{} // accel class → expected service/visit
+	for ci := range classes {
+		attrs := classes[ci].Attrs
+		attrs.PayloadLen = int(wl.AvgPayload)
+		env := newCostEnv(prog, m, nic, wl, cm, attrs)
+		hooks := &cir.Hooks{OnInstr: env.onInstr, MaxSteps: 2_000_000}
+		verdict, err := cir.NewInterp(prog).Run(env, hooks)
+		if err != nil {
+			return nil, fmt.Errorf("predict: class %s: %w", classes[ci].Name(), err)
+		}
+		pred.PerClass = append(pred.PerClass, ClassPrediction{
+			Name:     classes[ci].Name(),
+			Attrs:    classes[ci].Attrs,
+			Prob:     probs[ci],
+			Cycles:   env.cycles,
+			EnergyNJ: env.energyNJ(),
+			Verdict:  verdict,
+		})
+		meanExec += probs[ci] * env.cycles
+		pred.EnergyNJ += probs[ci] * env.energyNJ()
+		for class, uses := range env.accelUses {
+			accelUse[class] += probs[ci] * uses
+			if uses > 0 {
+				accelSvc[class] = env.accelSvc[class] / uses
+			}
+		}
+	}
+	_ = meanAccelUse
+	_ = meanAccelSvc
+	sort.Slice(pred.PerClass, func(i, j int) bool { return pred.PerClass[i].Name < pred.PerClass[j].Name })
+
+	// Fixed ingress/egress overhead, mirroring the datapath stages.
+	fixed := 0.0
+	if len(nic.Hubs) > 0 {
+		fixed += nic.Hubs[0].ServiceCycles
+	}
+	fixed += wl.AvgWire/64 + 1 // DMA
+	if m.ParseOnEngine {
+		if parsers := nic.UnitsOfKind(lnic.UnitParser); len(parsers) > 0 {
+			fixed += nic.Units[parsers[0]].FixedCycles
+		}
+	}
+	if eg := nic.UnitsOfKind(lnic.UnitEgress); len(eg) > 0 {
+		fixed += nic.Units[eg[0]].FixedCycles
+	}
+	if len(nic.Hubs) > 1 {
+		fixed += nic.Hubs[1].ServiceCycles
+	}
+	pred.FixedCycles = fixed
+
+	// Throughput: bottleneck analysis over resources.
+	clockHz := nic.ClockGHz * 1e9
+	type resource struct {
+		name    string
+		servers float64
+		demand  float64 // cycles per packet on this resource
+	}
+	var resources []resource
+	resources = append(resources, resource{"cores", float64(coreServers(nic)), meanExec - totalAccelCycles(accelUse, accelSvc)})
+	for class, uses := range accelUse {
+		if uses <= 0 {
+			continue
+		}
+		ids := nic.Accelerators(class)
+		if len(ids) == 0 {
+			continue
+		}
+		resources = append(resources, resource{
+			name:    nic.Units[ids[0]].Name,
+			servers: float64(len(ids) * nic.Units[ids[0]].Threads),
+			demand:  uses * accelSvc[class],
+		})
+	}
+	for _, h := range nic.Hubs {
+		resources = append(resources, resource{h.Name, 8, h.ServiceCycles})
+	}
+	best := math.Inf(1)
+	for _, r := range resources {
+		if r.demand <= 0 {
+			continue
+		}
+		cap := r.servers * clockHz / r.demand
+		if cap < best {
+			best = cap
+			pred.Bottleneck = r.name
+		}
+	}
+	pred.ThroughputPPS = best
+
+	// Queueing correction at the offered rate: M/G/c waiting time per
+	// resource — Erlang-C for the M/M/c wait, scaled by (1+CV²)/2 for the
+	// service-time distribution. The cores' CV² comes from the per-class
+	// latency spread; engines and accelerators serve near-deterministically.
+	queue := 0.0
+	if !opts.NoQueueing && wl.RatePPS > 0 {
+		// Squared coefficient of variation of per-packet core service time.
+		var m1, m2 float64
+		for _, c := range pred.PerClass {
+			m1 += c.Prob * c.Cycles
+			m2 += c.Prob * c.Cycles * c.Cycles
+		}
+		coreCV2 := 0.0
+		if m1 > 0 {
+			coreCV2 = m2/(m1*m1) - 1
+			if coreCV2 < 0 {
+				coreCV2 = 0
+			}
+		}
+		for _, r := range resources {
+			if r.demand <= 0 {
+				continue
+			}
+			rho := wl.RatePPS * r.demand / (r.servers * clockHz)
+			if rho >= 1 {
+				pred.Saturated = true
+				rho = 0.99
+			}
+			cv2 := 0.0
+			if r.name == "cores" {
+				cv2 = coreCV2
+			}
+			a := rho * r.servers // offered load in erlangs
+			pw := erlangC(int(r.servers), a)
+			wmmc := pw * r.demand / (r.servers * (1 - rho))
+			queue += wmmc * (1 + cv2) / 2
+		}
+	}
+	pred.QueueCycles = queue
+
+	pred.MeanCycles = meanExec + fixed + queue
+	pred.MeanNanos = nic.CyclesToNanos(pred.MeanCycles)
+	if wl.RatePPS > 0 {
+		pred.PowerWatts = pred.EnergyNJ * wl.RatePPS * 1e-9
+	}
+	return pred, nil
+}
+
+// erlangC returns the Erlang-C probability that an arrival waits in an
+// M/M/c queue offered a erlangs, computed with the numerically stable
+// recurrence on the Erlang-B blocking probability.
+func erlangC(c int, a float64) float64 {
+	if c <= 0 || a <= 0 {
+		return 0
+	}
+	if a >= float64(c) {
+		return 1
+	}
+	// Erlang-B recurrence: B(0)=1; B(k) = aB(k-1)/(k + aB(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho + rho*b)
+}
+
+func totalAccelCycles(use map[string]float64, svc map[string]float64) float64 {
+	total := 0.0
+	for class, u := range use {
+		total += u * svc[class]
+	}
+	return total
+}
+
+func coreServers(nic *lnic.LNIC) int {
+	n := nic.TotalThreads()
+	if n == 0 {
+		for _, id := range nic.UnitsOfKind(lnic.UnitMAU) {
+			n += nic.Units[id].Threads
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// CoResident predicts each NF's profile when sharing the NIC with the
+// others: every NF sees an equal slice of the cores, caches and queues
+// (§3.5's starting point for interference analysis).
+type CoResident struct {
+	Prog    *cir.Program
+	Mapping *mapper.Mapping
+}
+
+// PredictCoResident runs Predict for each NF against a 1/n LNIC slice.
+// Mappings are re-solved against the slice so placement decisions adapt to
+// the shrunken resources.
+func PredictCoResident(nfs []CoResident, nic *lnic.LNIC, wl mapper.Workload, opts Options) ([]*Prediction, error) {
+	if len(nfs) == 0 {
+		return nil, fmt.Errorf("predict: no co-resident NFs")
+	}
+	slice := nic.Slice(1 / float64(len(nfs)))
+	// Each slice sees its share of the aggregate rate.
+	swl := wl
+	swl.RatePPS = wl.RatePPS / float64(len(nfs))
+	var out []*Prediction
+	for _, item := range nfs {
+		g, err := cir.BuildGraph(item.Prog)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mapper.Map(g, slice, swl, mapper.Hints{})
+		if err != nil {
+			return nil, fmt.Errorf("predict: remapping %s on slice: %w", item.Prog.Name, err)
+		}
+		p, err := Predict(item.Prog, m, slice, swl, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

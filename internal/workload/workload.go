@@ -1,0 +1,349 @@
+// Package workload builds and characterizes the traffic Clara predicts
+// against (§3.5 of the paper): either a pcap trace or an abstract profile
+// such as "80% TCP vs 20% UDP" or "10k concurrent TCP flows with 300-byte
+// average packet size". Synthetic traces are deterministic given a seed, so
+// predictions and simulations see identical packet streams.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"clara/internal/packet"
+	"clara/internal/pcap"
+)
+
+// FlowDist selects how packets are spread across concurrent flows.
+type FlowDist uint8
+
+// Flow popularity distributions.
+const (
+	DistUniform FlowDist = iota
+	DistZipf
+)
+
+func (d FlowDist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistZipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("dist(%d)", uint8(d))
+	}
+}
+
+// Profile is an abstract workload description.
+type Profile struct {
+	Name    string
+	Packets int     // packets to generate
+	RatePPS float64 // offered load, packets per second
+	Flows   int     // concurrent flows
+	// FlowDist with ZipfS skews packet popularity across flows
+	// ("flow distributions could result in different working set sizes",
+	// §2.1).
+	FlowDist FlowDist
+	ZipfS    float64 // Zipf exponent (>1)
+	// TCPFraction of flows carry TCP; the rest UDP. TCP flows open with a
+	// SYN packet ("TCP SYN packets may require flow state setup", §2.1).
+	TCPFraction float64
+	// PayloadBytes is the mean payload size; PayloadJitter adds a uniform
+	// ±jitter. Zero jitter means fixed-size packets.
+	PayloadBytes  int
+	PayloadJitter int
+	// Poisson arrival jitter; false means constant bit rate spacing.
+	Poisson bool
+	Seed    int64
+}
+
+// DefaultProfile matches the paper's validation setup: 60k packets per
+// second (§4), mid-size packets, a few thousand flows.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:         "default",
+		Packets:      20000,
+		RatePPS:      60000,
+		Flows:        1000,
+		FlowDist:     DistUniform,
+		TCPFraction:  0.8,
+		PayloadBytes: 300,
+		Seed:         1,
+	}
+}
+
+// TracePacket is one packet with its arrival time.
+type TracePacket struct {
+	Data []byte
+	// ArrivalNs is the arrival timestamp in nanoseconds from trace start.
+	ArrivalNs float64
+}
+
+// Trace is a replayable packet sequence.
+type Trace struct {
+	Name    string
+	Packets []TracePacket
+}
+
+// Stats summarizes a trace; the predictor consumes these expectations.
+type Stats struct {
+	Packets     int
+	Flows       int
+	TCPFraction float64
+	SYNFraction float64
+	AvgPayload  float64
+	AvgWire     float64 // average frame size on the wire
+	DurationNs  float64
+	RatePPS     float64
+	// FlowHitFraction estimates the probability a packet belongs to a flow
+	// already seen (relevant for flow caches and stateful tables).
+	FlowHitFraction float64
+}
+
+// Generate synthesizes a trace from the profile.
+func Generate(p Profile) (*Trace, error) {
+	if p.Packets <= 0 {
+		return nil, fmt.Errorf("workload: profile %q has no packets", p.Name)
+	}
+	if p.Flows <= 0 {
+		return nil, fmt.Errorf("workload: profile %q has no flows", p.Name)
+	}
+	if p.RatePPS <= 0 {
+		return nil, fmt.Errorf("workload: profile %q has no rate", p.Name)
+	}
+	if p.TCPFraction < 0 || p.TCPFraction > 1 {
+		return nil, fmt.Errorf("workload: TCP fraction %v out of range", p.TCPFraction)
+	}
+	if p.FlowDist == DistZipf && p.ZipfS <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", p.ZipfS)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	type flowState struct {
+		flow   packet.Flow4
+		tcp    bool
+		opened bool
+		seq    uint32
+	}
+	flows := make([]flowState, p.Flows)
+	for i := range flows {
+		f := packet.Flow4{
+			Src:     packet.IPv4FromUint32(0x0a000000 | uint32(rng.Intn(1<<24))), // 10.0.0.0/8
+			Dst:     packet.IPv4FromUint32(0xc0a80000 | uint32(rng.Intn(1<<16))), // 192.168/16
+			SrcPort: uint16(1024 + rng.Intn(64000)),
+			DstPort: uint16(1 + rng.Intn(1024)),
+		}
+		tcp := rng.Float64() < p.TCPFraction
+		if tcp {
+			f.Proto = packet.ProtoTCP
+		} else {
+			f.Proto = packet.ProtoUDP
+		}
+		flows[i] = flowState{flow: f, tcp: tcp, seq: rng.Uint32()}
+	}
+
+	var zipf *rand.Zipf
+	if p.FlowDist == DistZipf {
+		zipf = rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Flows-1))
+	}
+
+	eth := packet.Ethernet{
+		Dst: packet.MAC{0x02, 0, 0, 0, 0, 1},
+		Src: packet.MAC{0x02, 0, 0, 0, 0, 2},
+	}
+	interNs := 1e9 / p.RatePPS
+	var bld packet.Builder
+	tr := &Trace{Name: p.Name, Packets: make([]TracePacket, 0, p.Packets)}
+	now := 0.0
+	payload := make([]byte, 0, p.PayloadBytes+p.PayloadJitter)
+	for i := 0; i < p.Packets; i++ {
+		var fi int
+		if zipf != nil {
+			fi = int(zipf.Uint64())
+		} else {
+			fi = rng.Intn(p.Flows)
+		}
+		fs := &flows[fi]
+
+		size := p.PayloadBytes
+		if p.PayloadJitter > 0 {
+			size += rng.Intn(2*p.PayloadJitter+1) - p.PayloadJitter
+		}
+		if size < 0 {
+			size = 0
+		}
+		payload = payload[:0]
+		for len(payload) < size {
+			payload = append(payload, byte(rng.Intn(256)))
+		}
+
+		ip := packet.IPv4{TTL: 64, ID: uint16(i), Src: fs.flow.Src, Dst: fs.flow.Dst}
+		var frame []byte
+		if fs.tcp {
+			t := packet.TCP{
+				SrcPort: fs.flow.SrcPort, DstPort: fs.flow.DstPort,
+				Seq: fs.seq, Window: 65535,
+			}
+			if !fs.opened {
+				t.Flags = packet.FlagSYN
+				fs.opened = true
+			} else {
+				t.Flags = packet.FlagACK | packet.FlagPSH
+			}
+			fs.seq += uint32(size)
+			frame = bld.TCPv4(eth, ip, t, payload)
+		} else {
+			u := packet.UDP{SrcPort: fs.flow.SrcPort, DstPort: fs.flow.DstPort}
+			frame = bld.UDPv4(eth, ip, u, payload)
+		}
+		data := append([]byte(nil), frame...)
+
+		if p.Poisson {
+			now += rng.ExpFloat64() * interNs
+		} else {
+			now += interNs
+		}
+		tr.Packets = append(tr.Packets, TracePacket{Data: data, ArrivalNs: now})
+	}
+	return tr, nil
+}
+
+// Stats computes trace summary statistics.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	s.Packets = len(t.Packets)
+	if s.Packets == 0 {
+		return s
+	}
+	seen := map[packet.Flow4]bool{}
+	var tcp, syn, hits int
+	var payloadSum, wireSum float64
+	var p packet.Packet
+	for i := range t.Packets {
+		if err := p.Decode(t.Packets[i].Data); err != nil {
+			continue
+		}
+		wireSum += float64(len(t.Packets[i].Data))
+		payloadSum += float64(len(p.Payload))
+		if p.HasTCP {
+			tcp++
+			if p.TCP.Flags.Has(packet.FlagSYN) {
+				syn++
+			}
+		}
+		if f, ok := p.Flow(); ok {
+			if seen[f] {
+				hits++
+			}
+			seen[f] = true
+		}
+	}
+	s.Flows = len(seen)
+	s.TCPFraction = float64(tcp) / float64(s.Packets)
+	s.SYNFraction = float64(syn) / float64(s.Packets)
+	s.AvgPayload = payloadSum / float64(s.Packets)
+	s.AvgWire = wireSum / float64(s.Packets)
+	s.FlowHitFraction = float64(hits) / float64(s.Packets)
+	s.DurationNs = t.Packets[len(t.Packets)-1].ArrivalNs - t.Packets[0].ArrivalNs
+	if s.DurationNs > 0 {
+		s.RatePPS = float64(s.Packets-1) / (s.DurationNs / 1e9)
+	}
+	return s
+}
+
+// WritePcap persists the trace in pcap format.
+func (t *Trace) WritePcap(w io.Writer) error {
+	pw, err := pcap.NewWriter(w, pcap.LinkTypeEthernet, 0)
+	if err != nil {
+		return err
+	}
+	base := time.Unix(0, 0)
+	for _, pk := range t.Packets {
+		if err := pw.WritePacket(base.Add(time.Duration(pk.ArrivalNs)), pk.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPcap loads a trace from pcap data.
+func ReadPcap(r io.Reader, name string) (*Trace, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Name: name}
+	var t0 time.Time
+	first := true
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			t0 = rec.Timestamp
+			first = false
+		}
+		tr.Packets = append(tr.Packets, TracePacket{
+			Data:      rec.Data,
+			ArrivalNs: float64(rec.Timestamp.Sub(t0)),
+		})
+	}
+	return tr, nil
+}
+
+// ParseProfile parses a compact key=value spec such as
+// "packets=20000,rate=60000,flows=10000,tcp=0.8,size=300,jitter=64,zipf=1.2,seed=7".
+// Unknown keys are rejected; omitted keys keep DefaultProfile values.
+func ParseProfile(spec string) (Profile, error) {
+	p := DefaultProfile()
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	p.Name = spec
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return p, fmt.Errorf("workload: bad field %q (want key=value)", kv)
+		}
+		key, val := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		var err error
+		switch key {
+		case "packets":
+			p.Packets, err = strconv.Atoi(val)
+		case "rate":
+			p.RatePPS, err = strconv.ParseFloat(val, 64)
+		case "flows":
+			p.Flows, err = strconv.Atoi(val)
+		case "tcp":
+			p.TCPFraction, err = strconv.ParseFloat(val, 64)
+		case "size":
+			p.PayloadBytes, err = strconv.Atoi(val)
+		case "jitter":
+			p.PayloadJitter, err = strconv.Atoi(val)
+		case "zipf":
+			p.FlowDist = DistZipf
+			p.ZipfS, err = strconv.ParseFloat(val, 64)
+		case "poisson":
+			p.Poisson, err = strconv.ParseBool(val)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return p, fmt.Errorf("workload: unknown field %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("workload: field %q: %v", key, err)
+		}
+	}
+	return p, nil
+}

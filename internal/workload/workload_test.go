@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"clara/internal/packet"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 2000
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 2000 {
+		t.Fatalf("packets = %d", len(tr.Packets))
+	}
+	s := tr.Stats()
+	if math.Abs(s.TCPFraction-0.8) > 0.06 {
+		t.Errorf("TCP fraction = %v, want ≈0.8", s.TCPFraction)
+	}
+	if math.Abs(s.AvgPayload-300) > 1 {
+		t.Errorf("avg payload = %v, want 300", s.AvgPayload)
+	}
+	if math.Abs(s.RatePPS-60000)/60000 > 0.01 {
+		t.Errorf("rate = %v, want ≈60000", s.RatePPS)
+	}
+	if s.Flows > p.Flows {
+		t.Errorf("distinct flows %d > declared %d", s.Flows, p.Flows)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 500
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Packets {
+		if !bytes.Equal(a.Packets[i].Data, b.Packets[i].Data) {
+			t.Fatalf("packet %d differs across identical seeds", i)
+		}
+		if a.Packets[i].ArrivalNs != b.Packets[i].ArrivalNs {
+			t.Fatalf("timestamp %d differs", i)
+		}
+	}
+	p.Seed = 99
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Packets[0].Data, c.Packets[0].Data) {
+		t.Error("different seeds produced identical first packet")
+	}
+}
+
+func TestTCPFlowsOpenWithSYN(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 3000
+	p.Flows = 100
+	p.TCPFraction = 1.0
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeen := map[packet.Flow4]bool{}
+	var pk packet.Packet
+	for i := range tr.Packets {
+		if err := pk.Decode(tr.Packets[i].Data); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := pk.Flow()
+		if !firstSeen[f] {
+			if !pk.TCP.Flags.Has(packet.FlagSYN) {
+				t.Fatalf("first packet of flow %v is not SYN", f)
+			}
+			firstSeen[f] = true
+		} else if pk.TCP.Flags.Has(packet.FlagSYN) {
+			t.Fatalf("non-first packet of flow %v is SYN", f)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 10000
+	p.Flows = 1000
+	p.FlowDist = DistZipf
+	p.ZipfS = 1.5
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[packet.Flow4]int{}
+	var pk packet.Packet
+	for i := range tr.Packets {
+		if err := pk.Decode(tr.Packets[i].Data); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := pk.Flow()
+		counts[f]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Under Zipf(1.5) the top flow should carry far more than the uniform
+	// share (10 packets per flow).
+	if max < 100 {
+		t.Errorf("top flow carries %d packets; Zipf skew looks broken", max)
+	}
+	// Uniform control: top flow near the mean.
+	p.FlowDist = DistUniform
+	tru, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsU := map[packet.Flow4]int{}
+	for i := range tru.Packets {
+		if err := pk.Decode(tru.Packets[i].Data); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := pk.Flow()
+		countsU[f]++
+	}
+	maxU := 0
+	for _, c := range countsU {
+		if c > maxU {
+			maxU = c
+		}
+	}
+	if maxU >= max {
+		t.Errorf("uniform max %d ≥ zipf max %d", maxU, max)
+	}
+}
+
+func TestPayloadJitter(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 1000
+	p.PayloadBytes = 300
+	p.PayloadJitter = 100
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk packet.Packet
+	minL, maxL := 1<<30, 0
+	for i := range tr.Packets {
+		if err := pk.Decode(tr.Packets[i].Data); err != nil {
+			t.Fatal(err)
+		}
+		if len(pk.Payload) < minL {
+			minL = len(pk.Payload)
+		}
+		if len(pk.Payload) > maxL {
+			maxL = len(pk.Payload)
+		}
+	}
+	if minL < 200 || maxL > 400 {
+		t.Errorf("payload range [%d,%d] outside 300±100", minL, maxL)
+	}
+	if maxL-minL < 50 {
+		t.Errorf("jitter too narrow: [%d,%d]", minL, maxL)
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 5000
+	p.Poisson = true
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if math.Abs(s.RatePPS-60000)/60000 > 0.1 {
+		t.Errorf("poisson mean rate = %v, want ≈60000", s.RatePPS)
+	}
+	// Interarrivals must vary.
+	d0 := tr.Packets[1].ArrivalNs - tr.Packets[0].ArrivalNs
+	varies := false
+	for i := 2; i < 100; i++ {
+		if math.Abs((tr.Packets[i].ArrivalNs-tr.Packets[i-1].ArrivalNs)-d0) > 1 {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("poisson arrivals are uniformly spaced")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Profile{
+		{Packets: 0, Flows: 1, RatePPS: 1},
+		{Packets: 1, Flows: 0, RatePPS: 1},
+		{Packets: 1, Flows: 1, RatePPS: 0},
+		{Packets: 1, Flows: 1, RatePPS: 1, TCPFraction: 1.5},
+		{Packets: 1, Flows: 1, RatePPS: 1, FlowDist: DistZipf, ZipfS: 0.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 200
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadPcap(&buf, "reread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Packets) != len(tr.Packets) {
+		t.Fatalf("packets = %d, want %d", len(tr2.Packets), len(tr.Packets))
+	}
+	for i := range tr.Packets {
+		if !bytes.Equal(tr.Packets[i].Data, tr2.Packets[i].Data) {
+			t.Fatalf("packet %d differs after pcap round trip", i)
+		}
+	}
+	// Relative timestamps preserved to ns.
+	for i := 1; i < len(tr.Packets); i++ {
+		want := tr.Packets[i].ArrivalNs - tr.Packets[0].ArrivalNs
+		if math.Abs(tr2.Packets[i].ArrivalNs-want) > 1 {
+			t.Fatalf("packet %d arrival = %v, want %v", i, tr2.Packets[i].ArrivalNs, want)
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("packets=5000,rate=240000,flows=10000,tcp=0.5,size=1000,jitter=8,zipf=1.2,poisson=true,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Packets != 5000 || p.RatePPS != 240000 || p.Flows != 10000 ||
+		p.TCPFraction != 0.5 || p.PayloadBytes != 1000 || p.PayloadJitter != 8 ||
+		p.FlowDist != DistZipf || p.ZipfS != 1.2 || !p.Poisson || p.Seed != 42 {
+		t.Errorf("parsed = %+v", p)
+	}
+	if _, err := ParseProfile("bogus=1"); err == nil {
+		t.Error("want error for unknown key")
+	}
+	if _, err := ParseProfile("packets"); err == nil {
+		t.Error("want error for missing value")
+	}
+	if _, err := ParseProfile("packets=abc"); err == nil {
+		t.Error("want error for bad int")
+	}
+	d, err := ParseProfile("")
+	if err != nil || d.Packets != DefaultProfile().Packets {
+		t.Errorf("empty spec should give default, got %+v, %v", d, err)
+	}
+}
+
+func TestStatsSYNFraction(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 1000
+	p.Flows = 100
+	p.TCPFraction = 1.0
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// Each of ~100 flows SYNs once in 1000 packets.
+	if s.SYNFraction < 0.05 || s.SYNFraction > 0.15 {
+		t.Errorf("SYN fraction = %v, want ≈0.1", s.SYNFraction)
+	}
+	if s.FlowHitFraction < 0.85 {
+		t.Errorf("flow hit fraction = %v, want ≈0.9", s.FlowHitFraction)
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	var tr Trace
+	s := tr.Stats()
+	if s.Packets != 0 || s.RatePPS != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p := DefaultProfile()
+	p.Packets = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
