@@ -174,6 +174,61 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictColdNF measures Predict with a fresh NF every iteration:
+// each call pays the full class-enumeration + annotation cost. Contrast
+// with BenchmarkPredict above, whose NF serves every call from the memoized
+// enumeration — the gap is the redundant symbolic-execution pass that
+// Advise/Predict used to repeat per call.
+func BenchmarkPredictColdNF(b *testing.B) {
+	src := nf.VNFChain().Source
+	target, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nfo, err := CompileNF(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nfo.Predict(target, wl, Hints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdviseSerial ranks all targets on one worker — the pre-pool
+// baseline for the speedup numbers in CHANGES.md.
+func BenchmarkAdviseSerial(b *testing.B) {
+	benchmarkAdvise(b, 1)
+}
+
+// BenchmarkAdviseParallel ranks all targets on the default pool width.
+func BenchmarkAdviseParallel(b *testing.B) {
+	benchmarkAdvise(b, 0)
+}
+
+func benchmarkAdvise(b *testing.B, width int) {
+	nfo, err := CompileNF(nf.VNFChain().Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AdviseParallel(nfo, wl, width); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulate measures simulator throughput (packets per iteration).
 func BenchmarkSimulate(b *testing.B) {
 	nfo, err := CompileNF(nf.Firewall(65536).Source)

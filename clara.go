@@ -27,10 +27,12 @@
 package clara
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"clara/internal/cir"
 	"clara/internal/lnic"
@@ -40,6 +42,7 @@ import (
 	"clara/internal/nicsim"
 	"clara/internal/partial"
 	"clara/internal/predict"
+	"clara/internal/runner"
 	"clara/internal/symexec"
 	"clara/internal/workload"
 )
@@ -78,6 +81,14 @@ type (
 )
 
 // NF is a compiled, analyzed network function.
+//
+// Concurrency contract: after CompileNF returns, Source, Program and Graph
+// are immutable and every analysis method (Map, Predict, PredictMapped,
+// Classes, Advise, AnalyzePartial, Measure) is safe to call from multiple
+// goroutines. Behaviour enumeration is memoized on first use; workload
+// annotation never mutates Graph — each distinct workload gets its own
+// annotated clone, cached per weight vector. Preload is the one mutable
+// field: populate it before sharing the NF across goroutines.
 type NF struct {
 	Source  string
 	Program *cir.Program
@@ -85,7 +96,23 @@ type NF struct {
 	// Preload requests pre-installed table entries for measurement (rule
 	// tables); keyed by state name.
 	Preload map[string]int
+
+	// classOnce guards the one-time behaviour enumeration (§3.5); classes
+	// are read-only once published.
+	classOnce sync.Once
+	classes   []symexec.Class
+	classErr  error
+
+	// annotated caches workload-annotated clones of Graph keyed by the
+	// weight vector, so repeated analyses of the same workload (Advise over
+	// many targets, eval grids) share one read-only annotated graph.
+	annMu     sync.Mutex
+	annotated map[symexec.Weights]*cir.Graph
 }
+
+// annotatedCacheCap bounds the per-NF annotated-graph cache; sweeps over
+// unbounded workload grids reset it rather than grow without limit.
+const annotatedCacheCap = 64
 
 // CompileNF lowers NF-dialect source into Clara IR and extracts its
 // dataflow graph.
@@ -152,25 +179,72 @@ func WorkloadFromPcap(r io.Reader) (Workload, *Trace, error) {
 // GenerateTrace synthesizes a packet trace from a profile.
 func GenerateTrace(p TrafficProfile) (*Trace, error) { return workload.Generate(p) }
 
-// Map lowers the NF onto the target for the workload (§3.4). The dataflow
-// graph's edge probabilities are first refined by behaviour enumeration.
-func (nf *NF) Map(t *Target, wl Workload, h Hints) (*Mapping, error) {
-	classes, err := symexec.Enumerate(nf.Program)
+// enumerate returns the NF's behaviour classes, running symbolic
+// enumeration at most once per NF. The returned slice is shared and must be
+// treated as read-only.
+func (nf *NF) enumerate() ([]symexec.Class, error) {
+	nf.classOnce.Do(func() {
+		nf.classes, nf.classErr = symexec.Enumerate(nf.Program)
+	})
+	return nf.classes, nf.classErr
+}
+
+// annotatedGraph returns a read-only clone of the dataflow graph with edge
+// probabilities refined for the workload. Clones are cached per weight
+// vector; nf.Graph itself is never mutated, which is what makes the analysis
+// pipeline re-entrant.
+func (nf *NF) annotatedGraph(wl Workload) (*cir.Graph, error) {
+	classes, err := nf.enumerate()
 	if err != nil {
 		return nil, err
 	}
-	symexec.AnnotateGraph(nf.Graph, classes, symexec.WeightsFor(wl))
-	return mapper.Map(nf.Graph, t, wl, h)
+	w := symexec.WeightsFor(wl)
+	nf.annMu.Lock()
+	defer nf.annMu.Unlock()
+	if g, ok := nf.annotated[w]; ok {
+		return g, nil
+	}
+	g := symexec.AnnotatedGraph(nf.Graph, classes, w)
+	if len(nf.annotated) >= annotatedCacheCap {
+		nf.annotated = nil
+	}
+	if nf.annotated == nil {
+		nf.annotated = map[symexec.Weights]*cir.Graph{}
+	}
+	nf.annotated[w] = g
+	return g, nil
 }
 
-// MapGreedy is the no-solver baseline mapping (ablation).
+// Map lowers the NF onto the target for the workload (§3.4). The dataflow
+// graph's edge probabilities are first refined by behaviour enumeration;
+// the refinement happens on a per-workload clone, so Map is safe to call
+// concurrently on one NF.
+func (nf *NF) Map(t *Target, wl Workload, h Hints) (*Mapping, error) {
+	g, err := nf.annotatedGraph(wl)
+	if err != nil {
+		return nil, err
+	}
+	return mapper.Map(g, t, wl, h)
+}
+
+// MapGreedy is the no-solver baseline mapping (ablation). It prices against
+// the same workload-annotated graph as Map so the two objectives compare.
 func (nf *NF) MapGreedy(t *Target, wl Workload, h Hints) (*Mapping, error) {
-	return mapper.Greedy(nf.Graph, t, wl, h)
+	g, err := nf.annotatedGraph(wl)
+	if err != nil {
+		return nil, err
+	}
+	return mapper.Greedy(g, t, wl, h)
 }
 
-// PredictMapped produces the performance profile for an existing mapping.
+// PredictMapped produces the performance profile for an existing mapping,
+// reusing the NF's memoized behaviour enumeration.
 func (nf *NF) PredictMapped(t *Target, m *Mapping, wl Workload, opts PredictOptions) (*Prediction, error) {
-	return predict.Predict(nf.Program, m, t, wl, opts)
+	classes, err := nf.enumerate()
+	if err != nil {
+		return nil, err
+	}
+	return predict.PredictWithClasses(nf.Program, classes, m, t, wl, opts)
 }
 
 // Predict runs the full workflow: map, then predict.
@@ -182,8 +256,10 @@ func (nf *NF) Predict(t *Target, wl Workload, h Hints) (*Prediction, error) {
 	return nf.PredictMapped(t, m, wl, PredictOptions{})
 }
 
-// Classes enumerates the NF's distinct behaviours (§3.5).
-func (nf *NF) Classes() ([]Class, error) { return symexec.Enumerate(nf.Program) }
+// Classes enumerates the NF's distinct behaviours (§3.5). The enumeration
+// runs once per NF and is cached; the returned slice is shared — treat it as
+// read-only.
+func (nf *NF) Classes() ([]Class, error) { return nf.enumerate() }
 
 // PlacementOf converts a mapping into the simulator's placement form.
 func PlacementOf(m *Mapping) Placement {
@@ -210,8 +286,15 @@ func (nf *NF) Measure(t *Target, m *Mapping, tr *Trace, seed int64) (*Measuremen
 }
 
 // Microbench recovers the target's performance parameters by running the
-// §3.2 probe suite on the simulator.
+// §3.2 probe suite on the simulator. Probes run concurrently; use
+// MicrobenchParallel to control the pool width.
 func Microbench(t *Target) (*BenchReport, error) { return microbench.Run(t) }
+
+// MicrobenchParallel is Microbench with an explicit worker count (values < 1
+// select GOMAXPROCS, 1 forces sequential probing).
+func MicrobenchParallel(t *Target, parallel int) (*BenchReport, error) {
+	return microbench.RunParallel(t, parallel)
+}
 
 // HostTarget returns the server-CPU model used as the host side of partial
 // offloading (a Xeon E5-2643-class machine, the paper's testbed).
@@ -222,14 +305,22 @@ func DefaultPCIe() PCIe { return partial.DefaultPCIe() }
 
 // AnalyzePartial sweeps every NIC-prefix/host-suffix partition of the NF
 // (§6's partial-offloading extension), reporting latency, throughput and
-// energy per cut plus the latency- and energy-optimal choices.
+// energy per cut plus the latency- and energy-optimal choices. Cuts are
+// evaluated on the shared worker pool at GOMAXPROCS width; use
+// AnalyzePartialParallel to control the width.
 func AnalyzePartial(nf *NF, t *Target, wl Workload, pcie PCIe) (*PartialAnalysis, error) {
-	classes, err := symexec.Enumerate(nf.Program)
+	return AnalyzePartialParallel(nf, t, wl, pcie, 0)
+}
+
+// AnalyzePartialParallel is AnalyzePartial with an explicit worker count
+// (values < 1 select GOMAXPROCS, 1 forces the sequential sweep). Results are
+// identical at any width.
+func AnalyzePartialParallel(nf *NF, t *Target, wl Workload, pcie PCIe, parallel int) (*PartialAnalysis, error) {
+	g, err := nf.annotatedGraph(wl)
 	if err != nil {
 		return nil, err
 	}
-	symexec.AnnotateGraph(nf.Graph, classes, symexec.WeightsFor(wl))
-	return partial.Analyze(nf.Graph, t, lnic.HostX86(), wl, pcie)
+	return partial.AnalyzeParallel(g, t, lnic.HostX86(), wl, pcie, parallel)
 }
 
 // Advice ranks targets for an NF and workload.
@@ -244,26 +335,45 @@ type Advice struct {
 
 // Advise predicts the NF on every built-in target and ranks the feasible
 // ones by latency — the "which SmartNIC model is best suited for her
-// workloads" use case from §1.
+// workloads" use case from §1. Targets are evaluated concurrently on the
+// shared worker pool; use AdviseParallel to control the width.
 func Advise(nf *NF, wl Workload) ([]Advice, error) {
-	var out []Advice
-	for _, name := range Targets() {
-		t, err := NewTarget(name)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := nf.Predict(t, wl, Hints{})
-		if err != nil {
-			out = append(out, Advice{Target: name, Feasible: false, Reason: err.Error()})
-			continue
-		}
-		out = append(out, Advice{
-			Target:     name,
-			Feasible:   true,
-			MeanCycles: pred.MeanCycles,
-			MeanNanos:  pred.MeanNanos,
-			Throughput: pred.ThroughputPPS,
+	return AdviseParallel(nf, wl, 0)
+}
+
+// AdviseParallel is Advise with an explicit worker count (values < 1 select
+// GOMAXPROCS, 1 forces the sequential loop). The ranking is identical at any
+// width: per-target results land in registry order before the final sort,
+// and an infeasible prediction is data, not an error — only target
+// construction failures abort the sweep.
+func AdviseParallel(nf *NF, wl Workload, parallel int) ([]Advice, error) {
+	// Warm the shared memoizations once so the workers don't duplicate the
+	// enumeration and annotation work.
+	if _, err := nf.annotatedGraph(wl); err != nil {
+		return nil, err
+	}
+	names := Targets()
+	out, err := runner.Map(context.Background(), parallel, len(names),
+		func(_ context.Context, i int) (Advice, error) {
+			name := names[i]
+			t, err := NewTarget(name)
+			if err != nil {
+				return Advice{}, err
+			}
+			pred, err := nf.Predict(t, wl, Hints{})
+			if err != nil {
+				return Advice{Target: name, Feasible: false, Reason: err.Error()}, nil
+			}
+			return Advice{
+				Target:     name,
+				Feasible:   true,
+				MeanCycles: pred.MeanCycles,
+				MeanNanos:  pred.MeanNanos,
+				Throughput: pred.ThroughputPPS,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Feasible != out[j].Feasible {

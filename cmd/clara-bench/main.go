@@ -19,13 +19,14 @@ import (
 func main() {
 	target := flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
 	curve := flag.Bool("curve", true, "probe the packet-size latency curve and locate the knee")
+	parallel := flag.Int("parallel", 0, "worker-pool width for the probe suite (default GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	t, err := clara.NewTarget(*target)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := clara.Microbench(t)
+	rep, err := clara.MicrobenchParallel(t, *parallel)
 	if err != nil {
 		fatal(err)
 	}

@@ -29,9 +29,10 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	packets := flag.Int("packets", 4000, "packets per simulated trace")
 	seed := flag.Int64("seed", 11, "trace and table seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width for experiment grids (default GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	cfg := eval.Config{Packets: *packets, Seed: *seed}
+	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel}
 	runs := map[string]func(eval.Config) error{
 		"fig1":         runFig1,
 		"fig3a":        runFig3a,

@@ -4,9 +4,14 @@
 // replays a synthetic or pcap workload:
 //
 //	clara-sim -nf lpm.nf -target netronome -workload "packets=100000,rate=60000"
+//
+// -target accepts a comma-separated list; multiple targets are mapped and
+// simulated concurrently (bounded by -parallel) against the same trace, and
+// reports print in the order given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,15 +19,17 @@ import (
 	"strings"
 
 	"clara"
+	"clara/internal/runner"
 )
 
 func main() {
 	var (
 		nfPath      = flag.String("nf", "", "NF source file (required)")
-		target      = flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
+		target      = flag.String("target", "netronome", "SmartNIC target(s), comma-separated: "+strings.Join(clara.Targets(), ", "))
 		workloadStr = flag.String("workload", "", "traffic spec, e.g. packets=50000,rate=60000,flows=1000,size=300")
 		pcapPath    = flag.String("pcap", "", "replay a pcap trace instead of synthesizing one")
 		seed        = flag.Int64("seed", 11, "simulator seed")
+		parallelN   = flag.Int("parallel", 0, "worker-pool width for multi-target runs (default GOMAXPROCS)")
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		preload     preloadFlags
@@ -42,9 +49,9 @@ func main() {
 	for k, v := range preload.m {
 		nf.Preload[k] = v
 	}
-	t, err := clara.NewTarget(*target)
-	if err != nil {
-		fatal(err)
+	targets := strings.Split(*target, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(targets[i])
 	}
 
 	var tr *clara.Trace
@@ -74,20 +81,43 @@ func main() {
 		}
 	}
 
-	m, err := nf.Map(t, wl, clara.Hints{DisableFlowCache: *noFlowCache, DisableChecksumAccel: *noCksum})
+	hints := clara.Hints{DisableFlowCache: *noFlowCache, DisableChecksumAccel: *noCksum}
+	// Targets share the NF and the trace; both are safe to read concurrently
+	// (the analysis pipeline is re-entrant and the simulator never writes the
+	// trace), so each worker only needs its own mapping + simulator run.
+	reports, err := runner.Map(context.Background(), *parallelN, len(targets),
+		func(_ context.Context, i int) (string, error) {
+			return simulate(nf, targets[i], wl, tr, hints, *seed)
+		})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := nf.Measure(t, m, tr, *seed)
+	for _, rep := range reports {
+		fmt.Print(rep)
+	}
+}
+
+// simulate maps and runs the NF on one target, returning the rendered report.
+func simulate(nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64) (string, error) {
+	t, err := clara.NewTarget(target)
 	if err != nil {
-		fatal(err)
+		return "", err
+	}
+	m, err := nf.Map(t, wl, hints)
+	if err != nil {
+		return "", err
+	}
+	res, err := nf.Measure(t, m, tr, seed)
+	if err != nil {
+		return "", err
 	}
 
-	fmt.Printf("simulated %s on %s: %d packets\n", nf.Name(), t.Name, len(res.Packets))
-	fmt.Printf("  mean latency: %.0f cycles (%.0f ns)\n", res.MeanLatency(), t.CyclesToNanos(res.MeanLatency()))
-	fmt.Printf("  p50 / p99:    %.0f / %.0f cycles\n", res.Percentile(50), res.Percentile(99))
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated %s on %s: %d packets\n", nf.Name(), t.Name, len(res.Packets))
+	fmt.Fprintf(&b, "  mean latency: %.0f cycles (%.0f ns)\n", res.MeanLatency(), t.CyclesToNanos(res.MeanLatency()))
+	fmt.Fprintf(&b, "  p50 / p99:    %.0f / %.0f cycles\n", res.Percentile(50), res.Percentile(99))
 	bd := res.MeanBreakdown()
-	fmt.Printf("  breakdown:    compute=%.0f mem=%.0f accel=%.0f queue=%.0f fixed=%.0f\n",
+	fmt.Fprintf(&b, "  breakdown:    compute=%.0f mem=%.0f accel=%.0f queue=%.0f fixed=%.0f\n",
 		bd.Compute, bd.Mem, bd.Accel, bd.Queue, bd.Fixed)
 	byClass := res.MeanLatencyByClass()
 	classes := make([]string, 0, len(byClass))
@@ -96,7 +126,7 @@ func main() {
 	}
 	sort.Strings(classes)
 	for _, c := range classes {
-		fmt.Printf("  class %-8s %.0f cycles\n", c, byClass[c])
+		fmt.Fprintf(&b, "  class %-8s %.0f cycles\n", c, byClass[c])
 	}
 	regions := make([]string, 0, len(res.CacheHitRate))
 	for r := range res.CacheHitRate {
@@ -104,10 +134,10 @@ func main() {
 	}
 	sort.Strings(regions)
 	for _, r := range regions {
-		fmt.Printf("  %s cache hit rate: %.1f%%\n", r, res.CacheHitRate[r]*100)
+		fmt.Fprintf(&b, "  %s cache hit rate: %.1f%%\n", r, res.CacheHitRate[r]*100)
 	}
 	if res.FlowCacheHitRate == res.FlowCacheHitRate { // not NaN
-		fmt.Printf("  flow cache hit rate: %.1f%%\n", res.FlowCacheHitRate*100)
+		fmt.Fprintf(&b, "  flow cache hit rate: %.1f%%\n", res.FlowCacheHitRate*100)
 	}
 	var drops int
 	for i := range res.Packets {
@@ -115,7 +145,8 @@ func main() {
 			drops++
 		}
 	}
-	fmt.Printf("  verdicts: %d pass, %d drop\n", len(res.Packets)-drops, drops)
+	fmt.Fprintf(&b, "  verdicts: %d pass, %d drop\n", len(res.Packets)-drops, drops)
+	return b.String(), nil
 }
 
 type preloadFlags struct{ m map[string]int }

@@ -32,6 +32,7 @@ func main() {
 		showClasses = flag.Bool("classes", false, "print enumerated packet classes")
 		advise      = flag.Bool("advise", false, "rank every built-in target for this NF")
 		partialFlag = flag.Bool("partial", false, "sweep host/NIC partial-offload cuts instead of full-offload prediction")
+		parallelN   = flag.Int("parallel", 0, "worker-pool width for -advise/-partial (default GOMAXPROCS)")
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		noCrypto    = flag.Bool("no-crypto-accel", false, "hint: crypto in software")
@@ -91,7 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		an, err := clara.AnalyzePartial(nf, t, wl, clara.DefaultPCIe())
+		an, err := clara.AnalyzePartialParallel(nf, t, wl, clara.DefaultPCIe(), *parallelN)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	if *advise {
-		advice, err := clara.Advise(nf, wl)
+		advice, err := clara.AdviseParallel(nf, wl, *parallelN)
 		if err != nil {
 			fatal(err)
 		}

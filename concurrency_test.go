@@ -1,0 +1,116 @@
+package clara
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// newSharedNF compiles a fresh firewall NF for concurrency tests.
+func newSharedNF(t testing.TB) (*NF, *Target, Workload) {
+	t.Helper()
+	nfo, err := CompileNF(fwSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewTarget("netronome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := ParseWorkload("flows=2000,rate=120000,tcp=1.0,size=400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nfo, target, wl
+}
+
+// TestConcurrentAnalysisMatchesSequential runs Advise, Predict and
+// AnalyzePartial on the same *NF from many goroutines and asserts every
+// result is identical to a sequential baseline computed on a separate NF.
+// Run under -race this also proves the analysis pipeline is re-entrant:
+// no call mutates nf.Graph or any other shared structure.
+func TestConcurrentAnalysisMatchesSequential(t *testing.T) {
+	base, target, wl := newSharedNF(t)
+	wantAdvice, err := AdviseParallel(base, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred, err := base.Predict(target, wl, Hints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPartial, err := AnalyzePartialParallel(base, target, wl, DefaultPCIe(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, _, _ := newSharedNF(t)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			advice, err := Advise(shared, wl)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(advice, wantAdvice) {
+				t.Errorf("concurrent Advise diverged:\n got %+v\nwant %+v", advice, wantAdvice)
+			}
+			pred, err := shared.Predict(target, wl, Hints{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(pred, wantPred) {
+				t.Errorf("concurrent Predict diverged:\n got %+v\nwant %+v", pred, wantPred)
+			}
+			an, err := AnalyzePartial(shared, target, wl, DefaultPCIe())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(an, wantPartial) {
+				t.Errorf("concurrent AnalyzePartial diverged")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelWidthInvariance pins the tentpole's determinism contract:
+// any pool width produces byte-identical results to the sequential path.
+func TestParallelWidthInvariance(t *testing.T) {
+	nfo, target, wl := newSharedNF(t)
+	seqAdvice, err := AdviseParallel(nfo, wl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqPartial, err := AnalyzePartialParallel(nfo, target, wl, DefaultPCIe(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 2, 7, 32} {
+		advice, err := AdviseParallel(nfo, wl, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(advice, seqAdvice) {
+			t.Errorf("width %d: Advise diverged from sequential", width)
+		}
+		an, err := AnalyzePartialParallel(nfo, target, wl, DefaultPCIe(), width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(an, seqPartial) {
+			t.Errorf("width %d: AnalyzePartial diverged from sequential", width)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"clara/internal/nicsim"
 	"clara/internal/partial"
 	"clara/internal/predict"
+	"clara/internal/runner"
 	"clara/internal/symexec"
 	"clara/internal/workload"
 )
@@ -27,8 +29,9 @@ import (
 // interactive runs; the paper used 1M-packet traces, which the CLI can
 // approach with -packets.
 type Config struct {
-	Packets int   // packets per simulated trace (default 4000)
-	Seed    int64 // trace + table seed (default 11)
+	Packets  int   // packets per simulated trace (default 4000)
+	Seed     int64 // trace + table seed (default 11)
+	Parallel int   // worker-pool width for grid cells (default GOMAXPROCS)
 }
 
 func (c Config) packets() int {
@@ -43,6 +46,10 @@ func (c Config) seed() int64 {
 		return c.Seed
 	}
 	return 11
+}
+
+func (c Config) parallel() int {
+	return runner.Parallelism(c.Parallel)
 }
 
 // run compiles, maps (with hints), simulates, and optionally predicts one
@@ -84,7 +91,7 @@ func (r run) execute(predictToo bool) (*runResult, error) {
 	}
 	out := &runResult{Mapping: m}
 	if predictToo {
-		p, err := predict.Predict(prog, m, r.nic, wl, predict.Options{})
+		p, err := predict.PredictWithClasses(prog, classes, m, r.nic, wl, predict.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -188,18 +195,22 @@ func Fig1(cfg Config) ([]VariantRow, error) {
 		{"HH", "60kpps", nf.HeavyHitter(1000), mapper.Hints{}, rate(60_000)},
 		{"HH", "240kpps", nf.HeavyHitter(1000), mapper.Hints{}, rate(240_000)},
 	}
-	var rows []VariantRow
-	for _, v := range variants {
-		prof := cfg.baseProfile()
-		if v.mutate != nil {
-			v.mutate(&prof)
-		}
-		r := run{cfg: cfg, nic: lnic.Netronome(), spec: v.spec, hints: v.hints, prof: prof}
-		res, err := r.execute(false)
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s/%s: %w", v.nf, v.name, err)
-		}
-		rows = append(rows, VariantRow{NF: v.nf, Variant: v.name, Cycles: res.Actual})
+	rows, err := runner.Map(context.Background(), cfg.parallel(), len(variants),
+		func(_ context.Context, i int) (VariantRow, error) {
+			v := variants[i]
+			prof := cfg.baseProfile()
+			if v.mutate != nil {
+				v.mutate(&prof)
+			}
+			r := run{cfg: cfg, nic: lnic.Netronome(), spec: v.spec, hints: v.hints, prof: prof}
+			res, err := r.execute(false)
+			if err != nil {
+				return VariantRow{}, fmt.Errorf("fig1 %s/%s: %w", v.nf, v.name, err)
+			}
+			return VariantRow{NF: v.nf, Variant: v.name, Cycles: res.Actual}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	// Normalize per NF against its fastest variant.
 	fastest := map[string]float64{}
@@ -257,56 +268,56 @@ func sweepPoint(r run, x int) (SweepPoint, error) {
 // The paper's LPM exercises software match/action lookups, so the flow
 // cache is disabled, matching its latency-grows-with-entries behaviour.
 func Fig3a(cfg Config) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for entries := 5000; entries <= 30000; entries += 5000 {
-		// The paper's LPM does software match/action processing in DRAM
-		// (§2.1), so the rule table is pinned to the EMEM.
-		r := run{
-			cfg: cfg, nic: lnic.Netronome(), spec: nf.LPM(entries),
-			hints: mapper.Hints{DisableFlowCache: true,
-				PinState: map[string]string{"routes": "emem"}},
-			prof: cfg.baseProfile(),
-		}
-		p, err := sweepPoint(r, entries)
-		if err != nil {
-			return nil, fmt.Errorf("fig3a entries=%d: %w", entries, err)
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return runner.Map(context.Background(), cfg.parallel(), 6,
+		func(_ context.Context, i int) (SweepPoint, error) {
+			entries := 5000 + i*5000
+			// The paper's LPM does software match/action processing in DRAM
+			// (§2.1), so the rule table is pinned to the EMEM.
+			r := run{
+				cfg: cfg, nic: lnic.Netronome(), spec: nf.LPM(entries),
+				hints: mapper.Hints{DisableFlowCache: true,
+					PinState: map[string]string{"routes": "emem"}},
+				prof: cfg.baseProfile(),
+			}
+			p, err := sweepPoint(r, entries)
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("fig3a entries=%d: %w", entries, err)
+			}
+			return p, nil
+		})
 }
 
 // Fig3b sweeps the VNF chain over payload sizes 200–1400 B.
 func Fig3b(cfg Config) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for payload := 200; payload <= 1400; payload += 200 {
-		prof := cfg.baseProfile()
-		prof.PayloadBytes = payload
-		r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.VNFChain(), prof: prof}
-		p, err := sweepPoint(r, payload)
-		if err != nil {
-			return nil, fmt.Errorf("fig3b payload=%d: %w", payload, err)
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return runner.Map(context.Background(), cfg.parallel(), 7,
+		func(_ context.Context, i int) (SweepPoint, error) {
+			payload := 200 + i*200
+			prof := cfg.baseProfile()
+			prof.PayloadBytes = payload
+			r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.VNFChain(), prof: prof}
+			p, err := sweepPoint(r, payload)
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("fig3b payload=%d: %w", payload, err)
+			}
+			return p, nil
+		})
 }
 
 // Fig3c sweeps NAT over payload sizes 200–1400 B (cycles).
 func Fig3c(cfg Config) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for payload := 200; payload <= 1400; payload += 200 {
-		prof := cfg.baseProfile()
-		prof.PayloadBytes = payload
-		prof.TCPFraction = 1.0
-		r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.NAT(true), prof: prof}
-		p, err := sweepPoint(r, payload)
-		if err != nil {
-			return nil, fmt.Errorf("fig3c payload=%d: %w", payload, err)
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return runner.Map(context.Background(), cfg.parallel(), 7,
+		func(_ context.Context, i int) (SweepPoint, error) {
+			payload := 200 + i*200
+			prof := cfg.baseProfile()
+			prof.PayloadBytes = payload
+			prof.TCPFraction = 1.0
+			r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.NAT(true), prof: prof}
+			p, err := sweepPoint(r, payload)
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("fig3c payload=%d: %w", payload, err)
+			}
+			return p, nil
+		})
 }
 
 // FormatSweep renders one Figure 3 panel.
@@ -348,23 +359,26 @@ func Accuracy(cfg Config) ([]AccuracyRow, error) {
 		}
 		return s / float64(len(points))
 	}
-	a, err := Fig3a(cfg)
-	if err != nil {
-		return nil, err
+	// The three panels run concurrently; each panel's internal sweep shares
+	// the same pool width, so total in-flight work stays near cfg.Parallel².
+	// Panel counts are small enough that this oversubscription is benign.
+	panels := []struct {
+		nf       string
+		sweep    func(Config) ([]SweepPoint, error)
+		paperErr float64
+	}{
+		{"LPM", Fig3a, 0.12},
+		{"VNF", Fig3b, 0.03},
+		{"NAT", Fig3c, 0.07},
 	}
-	b, err := Fig3b(cfg)
-	if err != nil {
-		return nil, err
-	}
-	c, err := Fig3c(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []AccuracyRow{
-		{NF: "LPM", MeanErr: mean(a), PaperErr: 0.12},
-		{NF: "VNF", MeanErr: mean(b), PaperErr: 0.03},
-		{NF: "NAT", MeanErr: mean(c), PaperErr: 0.07},
-	}, nil
+	return runner.Map(context.Background(), cfg.parallel(), len(panels),
+		func(_ context.Context, i int) (AccuracyRow, error) {
+			points, err := panels[i].sweep(cfg)
+			if err != nil {
+				return AccuracyRow{}, err
+			}
+			return AccuracyRow{NF: panels[i].nf, MeanErr: mean(points), PaperErr: panels[i].paperErr}, nil
+		})
 }
 
 // FormatAccuracy renders the accuracy table.
@@ -510,27 +524,27 @@ type AblationRow struct {
 func ILPvsGreedy(cfg Config) ([]AblationRow, error) {
 	nic := lnic.Netronome()
 	wl := mapper.FromProfile(cfg.baseProfile())
-	var rows []AblationRow
-	for _, spec := range []nf.Spec{nf.LPM(20000), nf.NAT(true), nf.Firewall(65536), nf.VNFChain()} {
-		prog, err := spec.Compile()
-		if err != nil {
-			return nil, err
-		}
-		g, err := cir.BuildGraph(prog)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := mapper.Map(g, nic, wl, mapper.Hints{})
-		if err != nil {
-			return nil, err
-		}
-		gr, err := mapper.Greedy(g, nic, wl, mapper.Hints{})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{NF: prog.Name, ILPCycles: opt.CostCycles, GreedyCycles: gr.CostCycles})
-	}
-	return rows, nil
+	specs := []nf.Spec{nf.LPM(20000), nf.NAT(true), nf.Firewall(65536), nf.VNFChain()}
+	return runner.Map(context.Background(), cfg.parallel(), len(specs),
+		func(_ context.Context, i int) (AblationRow, error) {
+			prog, err := specs[i].Compile()
+			if err != nil {
+				return AblationRow{}, err
+			}
+			g, err := cir.BuildGraph(prog)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			opt, err := mapper.Map(g, nic, wl, mapper.Hints{})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			gr, err := mapper.Greedy(g, nic, wl, mapper.Hints{})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{NF: prog.Name, ILPCycles: opt.CostCycles, GreedyCycles: gr.CostCycles}, nil
+		})
 }
 
 // QueueAblation compares queue-aware and queue-free prediction error at a
@@ -604,34 +618,34 @@ func Partial(cfg Config) ([]PartialRow, error) {
 	nic := lnic.Netronome()
 	host := lnic.HostX86()
 	wl := mapper.FromProfile(cfg.baseProfile())
-	var rows []PartialRow
-	for _, spec := range []nf.Spec{nf.Firewall(65536), nf.DPI(), nf.NAT(true), nf.VNFChain()} {
-		prog, err := spec.Compile()
-		if err != nil {
-			return nil, err
-		}
-		g, err := cir.BuildGraph(prog)
-		if err != nil {
-			return nil, err
-		}
-		classes, err := symexec.Enumerate(prog)
-		if err != nil {
-			return nil, err
-		}
-		symexec.AnnotateGraph(g, classes, symexec.WeightsFor(wl))
-		an, err := partial.Analyze(g, nic, host, wl, partial.DefaultPCIe())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, PartialRow{
-			NF:            prog.Name,
-			BestCut:       an.Best.Index,
-			TotalCuts:     len(an.Cuts) - 1,
-			FullNICNanos:  an.FullNIC.TotalNanos,
-			FullHostNanos: an.FullHost.TotalNanos,
-			BestNanos:     an.Best.TotalNanos,
-			EnergyBestCut: an.EnergyBest.Index,
+	specs := []nf.Spec{nf.Firewall(65536), nf.DPI(), nf.NAT(true), nf.VNFChain()}
+	return runner.Map(context.Background(), cfg.parallel(), len(specs),
+		func(_ context.Context, i int) (PartialRow, error) {
+			prog, err := specs[i].Compile()
+			if err != nil {
+				return PartialRow{}, err
+			}
+			g, err := cir.BuildGraph(prog)
+			if err != nil {
+				return PartialRow{}, err
+			}
+			classes, err := symexec.Enumerate(prog)
+			if err != nil {
+				return PartialRow{}, err
+			}
+			symexec.AnnotateGraph(g, classes, symexec.WeightsFor(wl))
+			an, err := partial.Analyze(g, nic, host, wl, partial.DefaultPCIe())
+			if err != nil {
+				return PartialRow{}, err
+			}
+			return PartialRow{
+				NF:            prog.Name,
+				BestCut:       an.Best.Index,
+				TotalCuts:     len(an.Cuts) - 1,
+				FullNICNanos:  an.FullNIC.TotalNanos,
+				FullHostNanos: an.FullHost.TotalNanos,
+				BestNanos:     an.Best.TotalNanos,
+				EnergyBestCut: an.EnergyBest.Index,
+			}, nil
 		})
-	}
-	return rows, nil
 }

@@ -13,6 +13,7 @@
 package microbench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/nicsim"
+	"clara/internal/runner"
 	"clara/internal/workload"
 )
 
@@ -59,87 +61,123 @@ func (r *Report) Get(name string) (Param, bool) {
 }
 
 // Run executes the probe suite against the NIC and returns the recovered
-// parameters.
+// parameters. Probes run concurrently on the shared worker pool; use
+// RunParallel to control the width.
 func Run(nic *lnic.LNIC) (*Report, error) {
-	rep := &Report{NIC: nic.Name}
+	return RunParallel(nic, 0)
+}
 
-	// 1) General-purpose compute instructions: difference two straight-line
-	// programs with controlled extra instruction counts.
-	aluCost, err := instrCost(nic, cir.OpAdd)
-	if err != nil {
-		return nil, err
-	}
-	mulCost, err := instrCost(nic, cir.OpMul)
-	if err != nil {
-		return nil, err
-	}
-	divCost, err := instrCost(nic, cir.OpDiv)
-	if err != nil {
-		return nil, err
-	}
+// RunParallel is Run with an explicit worker count (values < 1 select
+// GOMAXPROCS, 1 forces sequential probing). Every probe owns its simulator
+// instance and only reads the LNIC profile, so the recovered parameter
+// sheet is identical at any width: results are flattened in the fixed probe
+// order, not completion order.
+func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
 	core := representativeCore(nic)
-	rep.add("alu", aluCost, "cycles/instr", core.ClassCycles[cir.ClassALU])
-	rep.add("mul", mulCost, "cycles/instr", core.ClassCycles[cir.ClassMul])
-	rep.add("div", divCost, "cycles/instr", core.ClassCycles[cir.ClassDiv])
-
-	// 2) Header and metadata modifications.
-	meta, err := deltaCost(nic, metaProbe(1), metaProbe(9), 8)
-	if err != nil {
-		return nil, err
-	}
-	rep.add("metadata-mod", meta, "cycles/op", nic.MetadataCycles)
-
-	// 3) Packet parsers.
-	parse, err := parseCost(nic)
-	if err != nil {
-		return nil, err
-	}
-	rep.add("parse-header", parse, "cycles", nic.ParseCycles)
-
-	// 4) Checksum unit at the accelerator vs software, 1000-byte packets.
-	cksumHW, cksumSW, err := checksumCost(nic)
-	if err != nil {
-		return nil, err
-	}
-	var hwBook float64
-	if ids := nic.Accelerators("checksum"); len(ids) > 0 {
-		u := nic.Units[ids[0]]
-		hwBook = u.FixedCycles + u.PerByteCycles*1020
-		rep.add("checksum-accel-1000B", cksumHW, "cycles", hwBook)
-	}
-	rep.add("checksum-sw-1000B", cksumSW, "cycles", 0)
-
-	// 5) Flow cache hit service time.
-	if ids := nic.Accelerators("flowcache"); len(ids) > 0 {
-		fc, err := flowCacheCost(nic)
-		if err != nil {
-			return nil, err
-		}
-		rep.add("flowcache-hit", fc, "cycles", nic.Units[ids[0]].FixedCycles)
+	param := func(name string, v float64, unit string, book float64) []Param {
+		return []Param{{Name: name, Value: v, Unit: unit, Databook: book}}
 	}
 
+	// Each step measures one parameter group; the slice order fixes the
+	// report order regardless of which probe finishes first.
+	steps := []func() ([]Param, error){
+		// 1) General-purpose compute instructions: difference two
+		// straight-line programs with controlled extra instruction counts.
+		func() ([]Param, error) {
+			v, err := instrCost(nic, cir.OpAdd)
+			if err != nil {
+				return nil, err
+			}
+			return param("alu", v, "cycles/instr", core.ClassCycles[cir.ClassALU]), nil
+		},
+		func() ([]Param, error) {
+			v, err := instrCost(nic, cir.OpMul)
+			if err != nil {
+				return nil, err
+			}
+			return param("mul", v, "cycles/instr", core.ClassCycles[cir.ClassMul]), nil
+		},
+		func() ([]Param, error) {
+			v, err := instrCost(nic, cir.OpDiv)
+			if err != nil {
+				return nil, err
+			}
+			return param("div", v, "cycles/instr", core.ClassCycles[cir.ClassDiv]), nil
+		},
+		// 2) Header and metadata modifications.
+		func() ([]Param, error) {
+			v, err := deltaCost(nic, metaProbe(1), metaProbe(9), 8)
+			if err != nil {
+				return nil, err
+			}
+			return param("metadata-mod", v, "cycles/op", nic.MetadataCycles), nil
+		},
+		// 3) Packet parsers.
+		func() ([]Param, error) {
+			v, err := parseCost(nic)
+			if err != nil {
+				return nil, err
+			}
+			return param("parse-header", v, "cycles", nic.ParseCycles), nil
+		},
+		// 4) Checksum unit at the accelerator vs software, 1000-byte packets.
+		func() ([]Param, error) {
+			cksumHW, cksumSW, err := checksumCost(nic)
+			if err != nil {
+				return nil, err
+			}
+			var out []Param
+			if ids := nic.Accelerators("checksum"); len(ids) > 0 {
+				u := nic.Units[ids[0]]
+				hwBook := u.FixedCycles + u.PerByteCycles*1020
+				out = append(out, param("checksum-accel-1000B", cksumHW, "cycles", hwBook)...)
+			}
+			return append(out, param("checksum-sw-1000B", cksumSW, "cycles", 0)...), nil
+		},
+		// 5) Flow cache hit service time.
+		func() ([]Param, error) {
+			ids := nic.Accelerators("flowcache")
+			if len(ids) == 0 {
+				return nil, nil
+			}
+			fc, err := flowCacheCost(nic)
+			if err != nil {
+				return nil, err
+			}
+			return param("flowcache-hit", fc, "cycles", nic.Units[ids[0]].FixedCycles), nil
+		},
+	}
 	// 6) Memory loads/stores per region, via table probes of matching
 	// placement.
 	for region := range nic.Mems {
+		region := region
 		if _, ok := nic.AccessCycles(representativeCoreID(nic), region, false); !ok {
 			continue
 		}
-		m := nic.Mems[region]
-		lat, err := memoryCost(nic, region)
-		if err != nil {
-			return nil, err
-		}
-		book := m.LoadCycles
-		if m.CacheBytes > 0 {
-			book = m.CacheHitCycles // small probe working sets stay cached
-		}
-		rep.add("mem-"+m.Name, lat, "cycles/access", book)
+		steps = append(steps, func() ([]Param, error) {
+			m := nic.Mems[region]
+			lat, err := memoryCost(nic, region)
+			if err != nil {
+				return nil, err
+			}
+			book := m.LoadCycles
+			if m.CacheBytes > 0 {
+				book = m.CacheHitCycles // small probe working sets stay cached
+			}
+			return param("mem-"+m.Name, lat, "cycles/access", book), nil
+		})
+	}
+
+	groups, err := runner.Map(context.Background(), workers, len(steps),
+		func(_ context.Context, i int) ([]Param, error) { return steps[i]() })
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{NIC: nic.Name}
+	for _, g := range groups {
+		rep.Params = append(rep.Params, g...)
 	}
 	return rep, nil
-}
-
-func (r *Report) add(name string, v float64, unit string, book float64) {
-	r.Params = append(r.Params, Param{Name: name, Value: v, Unit: unit, Databook: book})
 }
 
 func representativeCore(nic *lnic.LNIC) *lnic.ComputeUnit {

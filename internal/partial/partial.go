@@ -16,6 +16,7 @@
 package partial
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/mapper"
+	"clara/internal/runner"
 )
 
 // PCIe parameterizes the host/NIC interconnect.
@@ -110,7 +112,17 @@ func (a *Analysis) String() string {
 }
 
 // Analyze evaluates every topological prefix cut of g between nic and host.
+// Cuts are evaluated concurrently on the shared worker pool; use
+// AnalyzeParallel to control the width. g is read, never modified.
 func Analyze(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe) (*Analysis, error) {
+	return AnalyzeParallel(g, nic, host, wl, pcie, 0)
+}
+
+// AnalyzeParallel is Analyze with an explicit worker count (values < 1
+// select GOMAXPROCS, 1 forces the sequential sweep). Each cut is an
+// independent evaluation against shared read-only cost models, and results
+// land at their cut index, so the analysis is identical at any width.
+func AnalyzeParallel(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe, parallel int) (*Analysis, error) {
 	if err := nic.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,25 +138,26 @@ func Analyze(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe) 
 	hostCM := mapper.NewCostModel(host, wl)
 
 	an := &Analysis{NFName: g.Prog.Name}
-	for cut := len(order); cut >= 0; cut-- {
-		onNIC := map[int]bool{}
-		var nicNodes, hostNodes []int
-		for i, n := range order {
-			if i < cut {
-				onNIC[n] = true
-				nicNodes = append(nicNodes, n)
-			} else {
-				hostNodes = append(hostNodes, n)
+	cuts, err := runner.Map(context.Background(), parallel, len(order)+1,
+		func(_ context.Context, cut int) (Cut, error) {
+			onNIC := map[int]bool{}
+			var nicNodes, hostNodes []int
+			for i, n := range order {
+				if i < cut {
+					onNIC[n] = true
+					nicNodes = append(nicNodes, n)
+				} else {
+					hostNodes = append(hostNodes, n)
+				}
 			}
-		}
-		c := evalCut(g, visits, onNIC, nicNodes, hostNodes, nic, host, nicCM, hostCM, wl, pcie)
-		c.Index = cut
-		an.Cuts = append(an.Cuts, *c)
+			c := evalCut(g, visits, onNIC, nicNodes, hostNodes, nic, host, nicCM, hostCM, wl, pcie)
+			c.Index = cut
+			return *c, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	// Cuts were built from full-NIC down; re-sort ascending by Index.
-	for i, j := 0, len(an.Cuts)-1; i < j; i, j = i+1, j-1 {
-		an.Cuts[i], an.Cuts[j] = an.Cuts[j], an.Cuts[i]
-	}
+	an.Cuts = cuts
 	for i := range an.Cuts {
 		c := &an.Cuts[i]
 		if c.Index == 0 {

@@ -91,12 +91,22 @@ func (p *Prediction) String() string {
 }
 
 // Predict computes the performance profile of prog mapped by m onto nic
-// under workload wl.
+// under workload wl. It enumerates the program's behaviour classes first;
+// callers that already hold them (clara.NF memoizes the enumeration) should
+// use PredictWithClasses to skip the redundant pass.
 func Predict(prog *cir.Program, m *mapper.Mapping, nic *lnic.LNIC, wl mapper.Workload, opts Options) (*Prediction, error) {
 	classes, err := symexec.Enumerate(prog)
 	if err != nil {
 		return nil, err
 	}
+	return PredictWithClasses(prog, classes, m, nic, wl, opts)
+}
+
+// PredictWithClasses is Predict with the behaviour enumeration supplied by
+// the caller. The classes must come from symexec.Enumerate on the same
+// program; they are read, never modified, so one enumeration can serve
+// concurrent predictions.
+func PredictWithClasses(prog *cir.Program, classes []symexec.Class, m *mapper.Mapping, nic *lnic.LNIC, wl mapper.Workload, opts Options) (*Prediction, error) {
 	w := symexec.WeightsFor(wl)
 	if opts.DPIMatchRate > 0 {
 		w.DPIMatch = opts.DPIMatchRate
@@ -169,7 +179,16 @@ func Predict(prog *cir.Program, m *mapper.Mapping, nic *lnic.LNIC, wl mapper.Wor
 	}
 	var resources []resource
 	resources = append(resources, resource{"cores", float64(coreServers(nic)), meanExec - totalAccelCycles(accelUse, accelSvc)})
-	for class, uses := range accelUse {
+	// Iterate accelerator classes in sorted order so the resource list — and
+	// with it tie-breaking of the bottleneck and the floating-point summation
+	// order of the queueing correction — is deterministic across runs.
+	accelClasses := make([]string, 0, len(accelUse))
+	for class := range accelUse {
+		accelClasses = append(accelClasses, class)
+	}
+	sort.Strings(accelClasses)
+	for _, class := range accelClasses {
+		uses := accelUse[class]
 		if uses <= 0 {
 			continue
 		}

@@ -399,9 +399,20 @@ func Normalize(classes []Class, w Weights) []float64 {
 	return probs
 }
 
+// AnnotatedGraph returns a clone of g with edge probabilities refined by the
+// classes under the workload weights. The input graph is not modified, so a
+// graph built once can serve concurrent analyses; callers that own their
+// graph exclusively can use AnnotateGraph to skip the copy.
+func AnnotatedGraph(g *cir.Graph, classes []Class, w Weights) *cir.Graph {
+	out := g.Clone()
+	AnnotateGraph(out, classes, w)
+	return out
+}
+
 // AnnotateGraph sets dataflow edge probabilities from the classes' block
 // traces weighted by the workload, replacing the uniform default (§3.5's
-// bridge from behaviours to the performance model).
+// bridge from behaviours to the performance model). It mutates g in place:
+// use AnnotatedGraph when the graph is shared.
 func AnnotateGraph(g *cir.Graph, classes []Class, w Weights) {
 	probs := Normalize(classes, w)
 	// Map block → node.

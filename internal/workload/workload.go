@@ -89,15 +89,20 @@ type Trace struct {
 }
 
 // Stats summarizes a trace; the predictor consumes these expectations.
+// Fractions and averages are taken over decoded packets only, so frames the
+// parser rejects (truncated captures, non-IPv4 traffic) don't dilute them;
+// DecodeErrors reports how many frames were excluded.
 type Stats struct {
-	Packets     int
-	Flows       int
-	TCPFraction float64
-	SYNFraction float64
-	AvgPayload  float64
-	AvgWire     float64 // average frame size on the wire
-	DurationNs  float64
-	RatePPS     float64
+	Packets      int // total frames in the trace
+	Decoded      int // frames the packet parser accepted
+	DecodeErrors int // frames excluded from fractions and averages
+	Flows        int
+	TCPFraction  float64
+	SYNFraction  float64
+	AvgPayload   float64
+	AvgWire      float64 // average frame size on the wire
+	DurationNs   float64
+	RatePPS      float64
 	// FlowHitFraction estimates the probability a packet belongs to a flow
 	// already seen (relevant for flow caches and stateful tables).
 	FlowHitFraction float64
@@ -116,6 +121,12 @@ func Generate(p Profile) (*Trace, error) {
 	}
 	if p.TCPFraction < 0 || p.TCPFraction > 1 {
 		return nil, fmt.Errorf("workload: TCP fraction %v out of range", p.TCPFraction)
+	}
+	if p.PayloadBytes < 0 {
+		return nil, fmt.Errorf("workload: profile %q has negative payload size %d", p.Name, p.PayloadBytes)
+	}
+	if p.PayloadJitter < 0 {
+		return nil, fmt.Errorf("workload: profile %q has negative payload jitter %d", p.Name, p.PayloadJitter)
 	}
 	if p.FlowDist == DistZipf && p.ZipfS <= 1 {
 		return nil, fmt.Errorf("workload: zipf exponent must exceed 1, got %v", p.ZipfS)
@@ -224,8 +235,10 @@ func (t *Trace) Stats() Stats {
 	var p packet.Packet
 	for i := range t.Packets {
 		if err := p.Decode(t.Packets[i].Data); err != nil {
+			s.DecodeErrors++
 			continue
 		}
+		s.Decoded++
 		wireSum += float64(len(t.Packets[i].Data))
 		payloadSum += float64(len(p.Payload))
 		if p.HasTCP {
@@ -242,11 +255,13 @@ func (t *Trace) Stats() Stats {
 		}
 	}
 	s.Flows = len(seen)
-	s.TCPFraction = float64(tcp) / float64(s.Packets)
-	s.SYNFraction = float64(syn) / float64(s.Packets)
-	s.AvgPayload = payloadSum / float64(s.Packets)
-	s.AvgWire = wireSum / float64(s.Packets)
-	s.FlowHitFraction = float64(hits) / float64(s.Packets)
+	if s.Decoded > 0 {
+		s.TCPFraction = float64(tcp) / float64(s.Decoded)
+		s.SYNFraction = float64(syn) / float64(s.Decoded)
+		s.AvgPayload = payloadSum / float64(s.Decoded)
+		s.AvgWire = wireSum / float64(s.Decoded)
+		s.FlowHitFraction = float64(hits) / float64(s.Decoded)
+	}
 	s.DurationNs = t.Packets[len(t.Packets)-1].ArrivalNs - t.Packets[0].ArrivalNs
 	if s.DurationNs > 0 {
 		s.RatePPS = float64(s.Packets-1) / (s.DurationNs / 1e9)
@@ -329,8 +344,14 @@ func ParseProfile(spec string) (Profile, error) {
 			p.TCPFraction, err = strconv.ParseFloat(val, 64)
 		case "size":
 			p.PayloadBytes, err = strconv.Atoi(val)
+			if err == nil && p.PayloadBytes < 0 {
+				err = fmt.Errorf("negative payload size %d", p.PayloadBytes)
+			}
 		case "jitter":
 			p.PayloadJitter, err = strconv.Atoi(val)
+			if err == nil && p.PayloadJitter < 0 {
+				err = fmt.Errorf("negative payload jitter %d", p.PayloadJitter)
+			}
 		case "zipf":
 			p.FlowDist = DistZipf
 			p.ZipfS, err = strconv.ParseFloat(val, 64)

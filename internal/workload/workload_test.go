@@ -215,6 +215,21 @@ func TestGenerateValidation(t *testing.T) {
 	}
 }
 
+func TestGenerateNegativePayload(t *testing.T) {
+	// Regression: size=-300 used to reach make([]byte, 0, negative) and
+	// panic with "makeslice: cap out of range"; now it's a plain error.
+	p := DefaultProfile()
+	p.PayloadBytes = -300
+	if _, err := Generate(p); err == nil {
+		t.Error("want error for negative payload size")
+	}
+	p = DefaultProfile()
+	p.PayloadJitter = -8
+	if _, err := Generate(p); err == nil {
+		t.Error("want error for negative payload jitter")
+	}
+}
+
 func TestPcapRoundTrip(t *testing.T) {
 	p := DefaultProfile()
 	p.Packets = 200
@@ -270,6 +285,12 @@ func TestParseProfile(t *testing.T) {
 	if err != nil || d.Packets != DefaultProfile().Packets {
 		t.Errorf("empty spec should give default, got %+v, %v", d, err)
 	}
+	if _, err := ParseProfile("size=-300"); err == nil {
+		t.Error("want error for negative size")
+	}
+	if _, err := ParseProfile("jitter=-8"); err == nil {
+		t.Error("want error for negative jitter")
+	}
 }
 
 func TestStatsSYNFraction(t *testing.T) {
@@ -288,6 +309,46 @@ func TestStatsSYNFraction(t *testing.T) {
 	}
 	if s.FlowHitFraction < 0.85 {
 		t.Errorf("flow hit fraction = %v, want ≈0.9", s.FlowHitFraction)
+	}
+}
+
+func TestStatsSkipsUndecodablePackets(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 1000
+	p.TCPFraction = 1.0
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := tr.Stats()
+	if clean.DecodeErrors != 0 || clean.Decoded != clean.Packets {
+		t.Fatalf("clean trace reports decode errors: %+v", clean)
+	}
+	// Splice in frames the parser must reject: a truncated runt and an
+	// IPv4 frame whose IP header is cut short.
+	truncatedIP := append([]byte{
+		0x02, 0, 0, 0, 0, 1, 0x02, 0, 0, 0, 0, 2, // eth dst/src
+		0x08, 0x00, // EtherType IPv4
+	}, 0x45, 0x00) // two bytes of a 20-byte IPv4 header
+	corrupt := *tr
+	corrupt.Packets = append([]TracePacket(nil), tr.Packets...)
+	corrupt.Packets = append(corrupt.Packets,
+		TracePacket{Data: []byte{0xde, 0xad}, ArrivalNs: tr.Packets[len(tr.Packets)-1].ArrivalNs + 1},
+		TracePacket{Data: truncatedIP, ArrivalNs: tr.Packets[len(tr.Packets)-1].ArrivalNs + 2},
+	)
+	s := corrupt.Stats()
+	if s.Packets != clean.Packets+2 {
+		t.Fatalf("total packets = %d, want %d", s.Packets, clean.Packets+2)
+	}
+	if s.DecodeErrors != 2 || s.Decoded != clean.Decoded {
+		t.Fatalf("decoded/errors = %d/%d, want %d/2", s.Decoded, s.DecodeErrors, clean.Decoded)
+	}
+	// Fractions and averages must be over decoded packets only — before the
+	// fix the two bad frames deflated every denominator-of-Packets stat.
+	if s.TCPFraction != clean.TCPFraction || s.SYNFraction != clean.SYNFraction ||
+		s.AvgPayload != clean.AvgPayload || s.AvgWire != clean.AvgWire ||
+		s.FlowHitFraction != clean.FlowHitFraction {
+		t.Errorf("stats skewed by undecodable packets:\n  corrupt: %+v\n  clean:   %+v", s, clean)
 	}
 }
 
