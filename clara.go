@@ -28,12 +28,14 @@ package clara
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"sync"
 
+	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/mapper"
@@ -68,6 +70,11 @@ type (
 	PredictOptions = predict.Options
 	// Measurement is a simulator run's result (the "Actual" side).
 	Measurement = nicsim.Result
+	// Faults configures simulator fault injection (outages, degradation,
+	// queue overflow, memory faults, packet corruption).
+	Faults = nicsim.Faults
+	// FaultReport summarizes fault-injection effects observed during a run.
+	FaultReport = nicsim.FaultReport
 	// Placement carries the mapping decisions the simulator honors.
 	Placement = nicsim.Placement
 	// Class is one enumerated NF behaviour (§3.5).
@@ -79,6 +86,42 @@ type (
 	// PCIe parameterizes the host/NIC interconnect for partial offloading.
 	PCIe = partial.PCIe
 )
+
+// Budget and its error types bound the analysis pipeline. Attach a Budget to
+// a context with WithBudget and pass that context to any ...Context method;
+// wall-clock limits come from the context itself (context.WithTimeout).
+type (
+	// Budget caps the resources one analysis may consume (steps, paths,
+	// simulated events, table and DPI memory). The zero value applies only
+	// the built-in safety defaults.
+	Budget = budget.Limits
+	// BudgetExceededError reports which budget dimension tripped; Partial
+	// carries whatever was computed before the trip.
+	BudgetExceededError = budget.ExceededError
+	// CanceledError wraps a context cancellation with the pipeline stage
+	// that observed it; errors.Is(err, context.Canceled) keeps working.
+	CanceledError = budget.CanceledError
+	// PanicError is an internal invariant violation converted into a
+	// structured error naming the stage and NF.
+	PanicError = budget.PanicError
+)
+
+// ErrBudgetExceeded matches every *BudgetExceededError via errors.Is.
+var ErrBudgetExceeded = budget.Exceeded
+
+// WithBudget returns a context carrying the budget; every ...Context method
+// downstream enforces it.
+func WithBudget(ctx context.Context, b Budget) context.Context { return budget.With(ctx, b) }
+
+// ParseBudget decodes a compact budget spec such as
+// "symsteps=200000,simsteps=1e6,events=100000,flows=100000,dpi=4096"
+// (the -budget flag syntax shared by the CLIs).
+func ParseBudget(spec string) (Budget, error) { return budget.Parse(spec) }
+
+// ParseFaults decodes a fault-injection spec such as
+// "outage=crypto,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7"
+// (the clara-sim -faults flag syntax). An empty spec yields nil (no faults).
+func ParseFaults(spec string) (*Faults, error) { return nicsim.ParseFaults(spec) }
 
 // NF is a compiled, analyzed network function.
 //
@@ -97,9 +140,12 @@ type NF struct {
 	// tables); keyed by state name.
 	Preload map[string]int
 
-	// classOnce guards the one-time behaviour enumeration (§3.5); classes
-	// are read-only once published.
-	classOnce sync.Once
+	// classMu guards the memoized behaviour enumeration (§3.5); classes are
+	// read-only once published. A canceled or budget-exceeded enumeration is
+	// not memoized, so a retry under a healthier context can still succeed;
+	// real failures are latched.
+	classMu   sync.Mutex
+	classDone bool
 	classes   []symexec.Class
 	classErr  error
 
@@ -117,15 +163,17 @@ const annotatedCacheCap = 64
 // CompileNF lowers NF-dialect source into Clara IR and extracts its
 // dataflow graph.
 func CompileNF(source string) (*NF, error) {
-	prog, err := nfc.Compile(source)
-	if err != nil {
-		return nil, err
-	}
-	g, err := cir.BuildGraph(prog)
-	if err != nil {
-		return nil, err
-	}
-	return &NF{Source: source, Program: prog, Graph: g, Preload: map[string]int{}}, nil
+	return budget.Guard1("compile", "", func() (*NF, error) {
+		prog, err := nfc.Compile(source)
+		if err != nil {
+			return nil, err
+		}
+		g, err := cir.BuildGraph(prog)
+		if err != nil {
+			return nil, err
+		}
+		return &NF{Source: source, Program: prog, Graph: g, Preload: map[string]int{}}, nil
+	})
 }
 
 // LoadNF reads and compiles an NF source file.
@@ -169,7 +217,14 @@ func ParseTrafficProfile(spec string) (TrafficProfile, error) {
 
 // WorkloadFromPcap derives expectations from a recorded trace.
 func WorkloadFromPcap(r io.Reader) (Workload, *Trace, error) {
-	tr, err := workload.ReadPcap(r, "pcap")
+	return WorkloadFromPcapContext(context.Background(), r)
+}
+
+// WorkloadFromPcapContext is WorkloadFromPcap bounded by ctx: ingestion
+// honors cancellation and the SimEvents budget, and hostile record headers
+// produce errors rather than allocations.
+func WorkloadFromPcapContext(ctx context.Context, r io.Reader) (Workload, *Trace, error) {
+	tr, err := workload.ReadPcapContext(ctx, r, "pcap")
 	if err != nil {
 		return Workload{}, nil, err
 	}
@@ -179,13 +234,38 @@ func WorkloadFromPcap(r io.Reader) (Workload, *Trace, error) {
 // GenerateTrace synthesizes a packet trace from a profile.
 func GenerateTrace(p TrafficProfile) (*Trace, error) { return workload.Generate(p) }
 
-// enumerate returns the NF's behaviour classes, running symbolic
-// enumeration at most once per NF. The returned slice is shared and must be
-// treated as read-only.
-func (nf *NF) enumerate() ([]symexec.Class, error) {
-	nf.classOnce.Do(func() {
-		nf.classes, nf.classErr = symexec.Enumerate(nf.Program)
+// GenerateTraceContext is GenerateTrace bounded by ctx and its budget.
+func GenerateTraceContext(ctx context.Context, p TrafficProfile) (*Trace, error) {
+	return workload.GenerateContext(ctx, p)
+}
+
+// retryable reports whether err reflects the caller's context or budget
+// rather than the NF itself, in which case the result must not be memoized:
+// a later call with a looser budget or live context may succeed.
+func retryable(err error) bool {
+	return errors.Is(err, budget.Exceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// enumerate returns the NF's behaviour classes, running symbolic enumeration
+// at most once per NF. The returned slice is shared and must be treated as
+// read-only. Enumeration runs inside a panic-isolation boundary; canceled or
+// budget-exceeded runs are reported but not memoized.
+func (nf *NF) enumerate(ctx context.Context) ([]symexec.Class, error) {
+	nf.classMu.Lock()
+	defer nf.classMu.Unlock()
+	if nf.classDone {
+		return nf.classes, nf.classErr
+	}
+	classes, err := budget.Guard1("enumerate", nf.Program.Name, func() ([]symexec.Class, error) {
+		return symexec.EnumerateContext(ctx, nf.Program)
 	})
+	if err != nil && retryable(err) {
+		return classes, err
+	}
+	nf.classDone = true
+	nf.classes, nf.classErr = classes, err
 	return nf.classes, nf.classErr
 }
 
@@ -193,8 +273,8 @@ func (nf *NF) enumerate() ([]symexec.Class, error) {
 // probabilities refined for the workload. Clones are cached per weight
 // vector; nf.Graph itself is never mutated, which is what makes the analysis
 // pipeline re-entrant.
-func (nf *NF) annotatedGraph(wl Workload) (*cir.Graph, error) {
-	classes, err := nf.enumerate()
+func (nf *NF) annotatedGraph(ctx context.Context, wl Workload) (*cir.Graph, error) {
+	classes, err := nf.enumerate(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -220,46 +300,91 @@ func (nf *NF) annotatedGraph(wl Workload) (*cir.Graph, error) {
 // the refinement happens on a per-workload clone, so Map is safe to call
 // concurrently on one NF.
 func (nf *NF) Map(t *Target, wl Workload, h Hints) (*Mapping, error) {
-	g, err := nf.annotatedGraph(wl)
+	return nf.MapContext(context.Background(), t, wl, h)
+}
+
+// MapContext is Map bounded by ctx and its budget; the solve runs inside a
+// panic-isolation boundary.
+func (nf *NF) MapContext(ctx context.Context, t *Target, wl Workload, h Hints) (*Mapping, error) {
+	g, err := nf.annotatedGraph(ctx, wl)
 	if err != nil {
 		return nil, err
 	}
-	return mapper.Map(g, t, wl, h)
+	if err := budget.Canceled(ctx, "map", nf.Program.Name); err != nil {
+		return nil, err
+	}
+	return budget.Guard1("map", nf.Program.Name, func() (*Mapping, error) {
+		return mapper.Map(g, t, wl, h)
+	})
 }
 
 // MapGreedy is the no-solver baseline mapping (ablation). It prices against
 // the same workload-annotated graph as Map so the two objectives compare.
 func (nf *NF) MapGreedy(t *Target, wl Workload, h Hints) (*Mapping, error) {
-	g, err := nf.annotatedGraph(wl)
+	return nf.MapGreedyContext(context.Background(), t, wl, h)
+}
+
+// MapGreedyContext is MapGreedy bounded by ctx and its budget.
+func (nf *NF) MapGreedyContext(ctx context.Context, t *Target, wl Workload, h Hints) (*Mapping, error) {
+	g, err := nf.annotatedGraph(ctx, wl)
 	if err != nil {
 		return nil, err
 	}
-	return mapper.Greedy(g, t, wl, h)
+	if err := budget.Canceled(ctx, "map", nf.Program.Name); err != nil {
+		return nil, err
+	}
+	return budget.Guard1("map", nf.Program.Name, func() (*Mapping, error) {
+		return mapper.Greedy(g, t, wl, h)
+	})
 }
 
 // PredictMapped produces the performance profile for an existing mapping,
 // reusing the NF's memoized behaviour enumeration.
 func (nf *NF) PredictMapped(t *Target, m *Mapping, wl Workload, opts PredictOptions) (*Prediction, error) {
-	classes, err := nf.enumerate()
+	return nf.PredictMappedContext(context.Background(), t, m, wl, opts)
+}
+
+// PredictMappedContext is PredictMapped bounded by ctx and its budget; the
+// prediction runs inside a panic-isolation boundary.
+func (nf *NF) PredictMappedContext(ctx context.Context, t *Target, m *Mapping, wl Workload, opts PredictOptions) (*Prediction, error) {
+	classes, err := nf.enumerate(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return predict.PredictWithClasses(nf.Program, classes, m, t, wl, opts)
+	if err := budget.Canceled(ctx, "predict", nf.Program.Name); err != nil {
+		return nil, err
+	}
+	return budget.Guard1("predict", nf.Program.Name, func() (*Prediction, error) {
+		return predict.PredictWithClasses(nf.Program, classes, m, t, wl, opts)
+	})
 }
 
 // Predict runs the full workflow: map, then predict.
 func (nf *NF) Predict(t *Target, wl Workload, h Hints) (*Prediction, error) {
-	m, err := nf.Map(t, wl, h)
+	return nf.PredictContext(context.Background(), t, wl, h)
+}
+
+// PredictContext is Predict bounded by ctx and its budget: cancellation or a
+// tripped budget aborts whichever stage (enumerate, map, predict) is running
+// with a typed error.
+func (nf *NF) PredictContext(ctx context.Context, t *Target, wl Workload, h Hints) (*Prediction, error) {
+	m, err := nf.MapContext(ctx, t, wl, h)
 	if err != nil {
 		return nil, err
 	}
-	return nf.PredictMapped(t, m, wl, PredictOptions{})
+	return nf.PredictMappedContext(ctx, t, m, wl, PredictOptions{})
 }
 
 // Classes enumerates the NF's distinct behaviours (§3.5). The enumeration
 // runs once per NF and is cached; the returned slice is shared — treat it as
 // read-only.
-func (nf *NF) Classes() ([]Class, error) { return nf.enumerate() }
+func (nf *NF) Classes() ([]Class, error) { return nf.enumerate(context.Background()) }
+
+// ClassesContext is Classes bounded by ctx and its budget. On cancellation
+// or a tripped budget the typed error's Partial field carries the classes
+// enumerated so far, and the enumeration is not memoized (a retry with a
+// looser budget can complete it).
+func (nf *NF) ClassesContext(ctx context.Context) ([]Class, error) { return nf.enumerate(ctx) }
 
 // PlacementOf converts a mapping into the simulator's placement form.
 func PlacementOf(m *Mapping) Placement {
@@ -275,14 +400,24 @@ func PlacementOf(m *Mapping) Placement {
 // Measure executes the NF under the mapping on the cycle-level simulator
 // against a concrete trace — the "Actual" side of the paper's validation.
 func (nf *NF) Measure(t *Target, m *Mapping, tr *Trace, seed int64) (*Measurement, error) {
-	sim, err := nicsim.New(nicsim.Config{
-		NIC: t, Prog: nf.Program, Place: PlacementOf(m),
-		Preload: nf.Preload, Seed: seed,
+	return nf.MeasureContext(context.Background(), t, m, tr, seed, nil)
+}
+
+// MeasureContext is Measure bounded by ctx and its budget, optionally under
+// fault injection (pass nil faults for a healthy run). Cancellation and the
+// SimSteps/SimEvents budgets return a typed error whose Partial field holds
+// the Measurement covering the packets that did run.
+func (nf *NF) MeasureContext(ctx context.Context, t *Target, m *Mapping, tr *Trace, seed int64, faults *Faults) (*Measurement, error) {
+	return budget.Guard1("simulate", nf.Program.Name, func() (*Measurement, error) {
+		sim, err := nicsim.NewContext(ctx, nicsim.Config{
+			NIC: t, Prog: nf.Program, Place: PlacementOf(m),
+			Preload: nf.Preload, Seed: seed, Faults: faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim.RunContext(ctx, tr)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(tr)
 }
 
 // Microbench recovers the target's performance parameters by running the
@@ -294,6 +429,14 @@ func Microbench(t *Target) (*BenchReport, error) { return microbench.Run(t) }
 // select GOMAXPROCS, 1 forces sequential probing).
 func MicrobenchParallel(t *Target, parallel int) (*BenchReport, error) {
 	return microbench.RunParallel(t, parallel)
+}
+
+// MicrobenchContext is MicrobenchParallel bounded by ctx: cancellation stops
+// in-flight probes promptly with a typed CanceledError.
+func MicrobenchContext(ctx context.Context, t *Target, parallel int) (*BenchReport, error) {
+	return budget.Guard1("microbench", t.Name, func() (*BenchReport, error) {
+		return microbench.RunContext(ctx, t, parallel)
+	})
 }
 
 // HostTarget returns the server-CPU model used as the host side of partial
@@ -316,11 +459,19 @@ func AnalyzePartial(nf *NF, t *Target, wl Workload, pcie PCIe) (*PartialAnalysis
 // (values < 1 select GOMAXPROCS, 1 forces the sequential sweep). Results are
 // identical at any width.
 func AnalyzePartialParallel(nf *NF, t *Target, wl Workload, pcie PCIe, parallel int) (*PartialAnalysis, error) {
-	g, err := nf.annotatedGraph(wl)
+	return AnalyzePartialContext(context.Background(), nf, t, wl, pcie, parallel)
+}
+
+// AnalyzePartialContext is AnalyzePartialParallel bounded by ctx: the cut
+// sweep stops promptly on cancellation with a typed CanceledError.
+func AnalyzePartialContext(ctx context.Context, nf *NF, t *Target, wl Workload, pcie PCIe, parallel int) (*PartialAnalysis, error) {
+	g, err := nf.annotatedGraph(ctx, wl)
 	if err != nil {
 		return nil, err
 	}
-	return partial.AnalyzeParallel(g, t, lnic.HostX86(), wl, pcie, parallel)
+	return budget.Guard1("partial", nf.Program.Name, func() (*PartialAnalysis, error) {
+		return partial.AnalyzeContext(ctx, g, t, lnic.HostX86(), wl, pcie, parallel)
+	})
 }
 
 // Advice ranks targets for an NF and workload.
@@ -347,21 +498,31 @@ func Advise(nf *NF, wl Workload) ([]Advice, error) {
 // and an infeasible prediction is data, not an error — only target
 // construction failures abort the sweep.
 func AdviseParallel(nf *NF, wl Workload, parallel int) ([]Advice, error) {
+	return AdviseContext(context.Background(), nf, wl, parallel)
+}
+
+// AdviseContext is AdviseParallel bounded by ctx: cancellation or a tripped
+// budget aborts the whole sweep with a typed error, while a per-target
+// infeasibility remains data in the ranking.
+func AdviseContext(ctx context.Context, nf *NF, wl Workload, parallel int) ([]Advice, error) {
 	// Warm the shared memoizations once so the workers don't duplicate the
 	// enumeration and annotation work.
-	if _, err := nf.annotatedGraph(wl); err != nil {
+	if _, err := nf.annotatedGraph(ctx, wl); err != nil {
 		return nil, err
 	}
 	names := Targets()
-	out, err := runner.Map(context.Background(), parallel, len(names),
-		func(_ context.Context, i int) (Advice, error) {
+	out, err := runner.Map(ctx, parallel, len(names),
+		func(cctx context.Context, i int) (Advice, error) {
 			name := names[i]
 			t, err := NewTarget(name)
 			if err != nil {
 				return Advice{}, err
 			}
-			pred, err := nf.Predict(t, wl, Hints{})
+			pred, err := nf.PredictContext(cctx, t, wl, Hints{})
 			if err != nil {
+				if retryable(err) {
+					return Advice{}, err
+				}
 				return Advice{Target: name, Feasible: false, Reason: err.Error()}, nil
 			}
 			return Advice{

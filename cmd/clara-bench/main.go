@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"clara"
+	"clara/internal/cliutil"
 	"clara/internal/microbench"
 )
 
@@ -20,13 +21,20 @@ func main() {
 	target := flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
 	curve := flag.Bool("curve", true, "probe the packet-size latency curve and locate the knee")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the probe suite (default GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
+	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
 	flag.Parse()
 
+	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer cancel()
 	t, err := clara.NewTarget(*target)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := clara.MicrobenchParallel(t, *parallel)
+	rep, err := clara.MicrobenchContext(ctx, t, *parallel)
 	if err != nil {
 		fatal(err)
 	}
@@ -34,7 +42,7 @@ func main() {
 
 	if *curve {
 		sizes := []int{128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096}
-		points, err := microbench.PacketCurve(t, sizes)
+		points, err := microbench.PacketCurveContext(ctx, t, sizes)
 		if err != nil {
 			fatal(err)
 		}

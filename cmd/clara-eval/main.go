@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"clara/internal/cir"
+	"clara/internal/cliutil"
 	"clara/internal/eval"
 )
 
@@ -30,9 +31,16 @@ func main() {
 	packets := flag.Int("packets", 4000, "packets per simulated trace")
 	seed := flag.Int64("seed", 11, "trace and table seed")
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment grids (default GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
+	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
 	flag.Parse()
 
-	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel}
+	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer cancel()
+	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel, Ctx: ctx}
 	runs := map[string]func(eval.Config) error{
 		"fig1":         runFig1,
 		"fig3a":        runFig3a,

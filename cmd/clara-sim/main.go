@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"clara"
+	"clara/internal/cliutil"
 	"clara/internal/runner"
 )
 
@@ -30,6 +31,9 @@ func main() {
 		pcapPath    = flag.String("pcap", "", "replay a pcap trace instead of synthesizing one")
 		seed        = flag.Int64("seed", 11, "simulator seed")
 		parallelN   = flag.Int("parallel", 0, "worker-pool width for multi-target runs (default GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
+		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
+		faultsSpec  = flag.String("faults", "", "fault injection, e.g. outage=crypto,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7")
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		preload     preloadFlags
@@ -41,6 +45,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clara-sim: -nf is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer cancel()
+	faults, err := clara.ParseFaults(*faultsSpec)
+	if err != nil {
+		fatal(err)
 	}
 	nf, err := clara.LoadNF(*nfPath)
 	if err != nil {
@@ -61,7 +74,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		wl, tr, err = clara.WorkloadFromPcap(f)
+		wl, tr, err = clara.WorkloadFromPcapContext(ctx, f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -71,7 +84,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		tr, err = clara.GenerateTrace(prof)
+		tr, err = clara.GenerateTraceContext(ctx, prof)
 		if err != nil {
 			fatal(err)
 		}
@@ -85,9 +98,9 @@ func main() {
 	// Targets share the NF and the trace; both are safe to read concurrently
 	// (the analysis pipeline is re-entrant and the simulator never writes the
 	// trace), so each worker only needs its own mapping + simulator run.
-	reports, err := runner.Map(context.Background(), *parallelN, len(targets),
-		func(_ context.Context, i int) (string, error) {
-			return simulate(nf, targets[i], wl, tr, hints, *seed)
+	reports, err := runner.Map(ctx, *parallelN, len(targets),
+		func(cctx context.Context, i int) (string, error) {
+			return simulate(cctx, nf, targets[i], wl, tr, hints, *seed, faults)
 		})
 	if err != nil {
 		fatal(err)
@@ -98,16 +111,16 @@ func main() {
 }
 
 // simulate maps and runs the NF on one target, returning the rendered report.
-func simulate(nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64) (string, error) {
+func simulate(ctx context.Context, nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64, faults *clara.Faults) (string, error) {
 	t, err := clara.NewTarget(target)
 	if err != nil {
 		return "", err
 	}
-	m, err := nf.Map(t, wl, hints)
+	m, err := nf.MapContext(ctx, t, wl, hints)
 	if err != nil {
 		return "", err
 	}
-	res, err := nf.Measure(t, m, tr, seed)
+	res, err := nf.MeasureContext(ctx, t, m, tr, seed, faults)
 	if err != nil {
 		return "", err
 	}
@@ -146,6 +159,9 @@ func simulate(nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, h
 		}
 	}
 	fmt.Fprintf(&b, "  verdicts: %d pass, %d drop\n", len(res.Packets)-drops, drops)
+	if res.Faults.Any() {
+		fmt.Fprintf(&b, "  faults:   %s\n", res.Faults.String())
+	}
 	return b.String(), nil
 }
 

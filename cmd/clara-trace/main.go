@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"clara"
+	"clara/internal/cliutil"
 )
 
 func main() {
@@ -20,8 +21,16 @@ func main() {
 		workloadStr = flag.String("workload", "", "traffic spec to synthesize, e.g. packets=100000,flows=10000,size=300")
 		out         = flag.String("out", "", "write the synthesized trace to this pcap file")
 		statsPath   = flag.String("stats", "", "print statistics of an existing pcap instead")
+		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
+		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
 	)
 	flag.Parse()
+
+	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer cancel()
 
 	if *statsPath != "" {
 		f, err := os.Open(*statsPath)
@@ -29,7 +38,7 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		wl, tr, err := clara.WorkloadFromPcap(f)
+		wl, tr, err := clara.WorkloadFromPcapContext(ctx, f)
 		if err != nil {
 			fatal(err)
 		}
@@ -47,7 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := clara.GenerateTrace(prof)
+	tr, err := clara.GenerateTraceContext(ctx, prof)
 	if err != nil {
 		fatal(err)
 	}

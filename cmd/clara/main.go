@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"clara"
+	"clara/internal/cliutil"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		advise      = flag.Bool("advise", false, "rank every built-in target for this NF")
 		partialFlag = flag.Bool("partial", false, "sweep host/NIC partial-offload cuts instead of full-offload prediction")
 		parallelN   = flag.Int("parallel", 0, "worker-pool width for -advise/-partial (default GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
+		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		noCrypto    = flag.Bool("no-crypto-accel", false, "hint: crypto in software")
@@ -47,6 +50,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer cancel()
 	nf, err := clara.LoadNF(*nfPath)
 	if err != nil {
 		fatal(err)
@@ -58,7 +66,7 @@ func main() {
 		fmt.Print(nf.Graph.String())
 	}
 	if *showClasses {
-		classes, err := nf.Classes()
+		classes, err := nf.ClassesContext(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +83,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		wl, _, err = clara.WorkloadFromPcap(f)
+		wl, _, err = clara.WorkloadFromPcapContext(ctx, f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -92,7 +100,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		an, err := clara.AnalyzePartialParallel(nf, t, wl, clara.DefaultPCIe(), *parallelN)
+		an, err := clara.AnalyzePartialContext(ctx, nf, t, wl, clara.DefaultPCIe(), *parallelN)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,7 +109,7 @@ func main() {
 	}
 
 	if *advise {
-		advice, err := clara.AdviseParallel(nf, wl, *parallelN)
+		advice, err := clara.AdviseContext(ctx, nf, wl, *parallelN)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,14 +135,14 @@ func main() {
 		SoftwareParse:        *swParse,
 		PinState:             pins.m,
 	}
-	m, err := nf.Map(t, wl, hints)
+	m, err := nf.MapContext(ctx, t, wl, hints)
 	if err != nil {
 		fatal(err)
 	}
 	if *showMapping {
 		fmt.Print(m.Describe(nf.Graph, t))
 	}
-	pred, err := nf.PredictMapped(t, m, wl, clara.PredictOptions{})
+	pred, err := nf.PredictMappedContext(ctx, t, m, wl, clara.PredictOptions{})
 	if err != nil {
 		fatal(err)
 	}

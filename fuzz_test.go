@@ -1,0 +1,40 @@
+package clara
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+)
+
+// FuzzCompileNF drives arbitrary source through the compiler and, when it
+// compiles, through budget-bounded behaviour enumeration. Any outcome is
+// acceptable except a panic: CompileNF's isolation boundary converts panics
+// into *PanicError, so one surfacing here is a real compiler bug.
+func FuzzCompileNF(f *testing.F) {
+	if data, err := os.ReadFile("examples/firewall.nf"); err == nil {
+		f.Add(string(data))
+	}
+	f.Add(fwSrc)
+	f.Add(spinnerSrc)
+	f.Add("nf x { handler(pkt) { return pass; } }")
+	f.Add("nf x { state s : map<13, 8>[64]; handler(pkt) { if (!parse(ipv4)) { return drop; } var k = flow_key(); map_lookup(s, k); return pass; } }")
+	f.Add("nf x { handler(pkt) { var i = 0; while (i < 3) { i = i + 1; } return pass; } }")
+	f.Add("nf \x00 {")
+	f.Add("nf x { state s : array<8>[99999999999999999999]; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		nfo, err := CompileNF(src)
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("compiler panicked: %v\n%s", pe.Value, pe.Stack)
+		}
+		if err != nil {
+			return
+		}
+		ctx := WithBudget(context.Background(), Budget{SymExecSteps: 2000, SymExecPaths: 8})
+		if _, err := nfo.ClassesContext(ctx); errors.As(err, &pe) {
+			t.Fatalf("enumeration panicked: %v\n%s", pe.Value, pe.Stack)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	l, err := Parse("symsteps=200000,sympaths=64,simsteps=1e6,events=100000,flows=100000,dpi=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Limits{
+		SymExecSteps: 200000, SymExecPaths: 64, SimSteps: 1_000_000,
+		SimEvents: 100000, FlowEntries: 100000, DPIBytes: 4096,
+	}
+	if l != want {
+		t.Fatalf("Parse = %+v, want %+v", l, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	l, err := Parse("  ")
+	if err != nil || l != (Limits{}) {
+		t.Fatalf("Parse(blank) = %+v, %v", l, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",        // unknown key
+		"symsteps",       // no value
+		"simsteps=-5",    // negative
+		"events=notanum", // unparseable
+		"flows=1e30",     // out of range
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestResolverDefaults(t *testing.T) {
+	var l Limits
+	if got := l.SymExecStepLimit(); got != DefaultSymExecSteps {
+		t.Errorf("SymExecStepLimit zero = %d, want %d", got, DefaultSymExecSteps)
+	}
+	if got := l.SimStepLimit(); got != DefaultSimSteps {
+		t.Errorf("SimStepLimit zero = %d, want %d", got, DefaultSimSteps)
+	}
+	if got := l.FlowEntryLimit(); got != DefaultFlowEntries {
+		t.Errorf("FlowEntryLimit zero = %d, want %d", got, DefaultFlowEntries)
+	}
+	l = Limits{SymExecSteps: 7, SimSteps: 8, FlowEntries: 9}
+	if l.SymExecStepLimit() != 7 || l.SimStepLimit() != 8 || l.FlowEntryLimit() != 9 {
+		t.Errorf("explicit limits not honored: %+v", l)
+	}
+}
+
+func TestWithFrom(t *testing.T) {
+	if got := From(context.Background()); got != (Limits{}) {
+		t.Fatalf("From(bare ctx) = %+v, want zero", got)
+	}
+	want := Limits{SimEvents: 123}
+	ctx := With(context.Background(), want)
+	if got := From(ctx); got != want {
+		t.Fatalf("From = %+v, want %+v", got, want)
+	}
+}
+
+func TestExceededErrorIs(t *testing.T) {
+	err := error(&ExceededError{Resource: "sim-steps", Limit: 10, Stage: "simulate", NF: "nat", Partial: 42})
+	if !errors.Is(err, Exceeded) {
+		t.Fatal("errors.Is(ExceededError, Exceeded) = false")
+	}
+	var ee *ExceededError
+	if !errors.As(err, &ee) || ee.Partial != 42 {
+		t.Fatalf("errors.As lost the partial result: %+v", ee)
+	}
+	msg := err.Error()
+	for _, frag := range []string{"sim-steps", "simulate", "nat", "partial results"} {
+		if !contains(msg, frag) {
+			t.Errorf("Error() = %q, missing %q", msg, frag)
+		}
+	}
+}
+
+func TestCanceledErrorUnwrap(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx, "map", "fw")
+	if err == nil {
+		t.Fatal("Canceled(done ctx) = nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("errors.Is(err, context.Canceled) = false")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) || ce.Stage != "map" || ce.NF != "fw" {
+		t.Fatalf("wrong CanceledError: %+v", ce)
+	}
+	if Canceled(context.Background(), "map", "fw") != nil {
+		t.Fatal("Canceled(live ctx) != nil")
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard("map", "nat", func() error { panic("invariant violated") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %v, want *PanicError", err)
+	}
+	if pe.Stage != "map" || pe.NF != "nat" || pe.Value != "invariant violated" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError fields wrong: %+v", pe)
+	}
+	if err := Guard("map", "nat", func() error { return nil }); err != nil {
+		t.Fatalf("Guard(no panic) = %v", err)
+	}
+}
+
+func TestGuard1ConvertsPanic(t *testing.T) {
+	v, err := Guard1("predict", "fw", func() (int, error) { return 5, nil })
+	if v != 5 || err != nil {
+		t.Fatalf("Guard1 passthrough = %d, %v", v, err)
+	}
+	v, err = Guard1("predict", "fw", func() (int, error) { panic("boom") })
+	var pe *PanicError
+	if v != 0 || !errors.As(err, &pe) || pe.Stage != "predict" {
+		t.Fatalf("Guard1 panic path = %d, %v", v, err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -5,11 +5,19 @@ import "fmt"
 // Builder constructs Programs imperatively. The NF-dialect front end lowers
 // through it, and tests and hand-written NFs can use it directly in place of
 // DSL sources.
+//
+// Misuse — emitting into a sealed block, sealing twice, switching to an
+// out-of-range block, or naming an unknown vcall — does not panic: the first
+// such mistake is latched and reported by Program as a diagnostic, so a
+// front-end bug (or a hostile NF source that drives the front end into one)
+// surfaces as a compile error rather than a crash. Panics remain only for
+// invariants no caller can reach (see MustProgram).
 type Builder struct {
 	prog    Program
 	cur     int // index of the block under construction
 	nextReg Reg
 	sealed  map[int]bool
+	err     error // first structural misuse, reported by Program
 }
 
 // NewBuilder starts a program with one entry block.
@@ -57,10 +65,21 @@ func (b *Builder) NewBlock(label string) int {
 	return len(b.prog.Blocks) - 1
 }
 
+// fail latches the first structural misuse; Program reports it.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first latched misuse diagnostic, if any.
+func (b *Builder) Err() error { return b.err }
+
 // SetBlock switches emission to block idx.
 func (b *Builder) SetBlock(idx int) {
 	if idx < 0 || idx >= len(b.prog.Blocks) {
-		panic(fmt.Sprintf("cir: SetBlock(%d) out of range", idx))
+		b.fail("cir: SetBlock(%d) out of range (have %d blocks)", idx, len(b.prog.Blocks))
+		return
 	}
 	b.cur = idx
 }
@@ -76,7 +95,8 @@ func (b *Builder) newReg() Reg {
 
 func (b *Builder) emit(in Instr) Reg {
 	if b.sealed[b.cur] {
-		panic(fmt.Sprintf("cir: emitting into sealed block %d", b.cur))
+		b.fail("cir: emitting %s into sealed block %d (%s)", in.Op, b.cur, b.prog.Blocks[b.cur].Label)
+		return in.Dst
 	}
 	blk := &b.prog.Blocks[b.cur]
 	blk.Instrs = append(blk.Instrs, in)
@@ -132,7 +152,8 @@ func (b *Builder) Store(addr, val Reg, size int) {
 // VCall emits a virtual call returning a value.
 func (b *Builder) VCall(name, state string, args ...Reg) Reg {
 	if _, ok := VCalls[name]; !ok {
-		panic("cir: unknown vcall " + name)
+		b.fail("cir: unknown vcall %q", name)
+		return b.newReg()
 	}
 	return b.emit(Instr{Op: OpVCall, Dst: b.newReg(), Callee: name, State: state, Args: args})
 }
@@ -140,7 +161,8 @@ func (b *Builder) VCall(name, state string, args ...Reg) Reg {
 // VCallVoid emits a virtual call that produces no value.
 func (b *Builder) VCallVoid(name, state string, args ...Reg) {
 	if _, ok := VCalls[name]; !ok {
-		panic("cir: unknown vcall " + name)
+		b.fail("cir: unknown vcall %q", name)
+		return
 	}
 	b.emit(Instr{Op: OpVCall, Dst: NoReg, Callee: name, State: state, Args: args})
 }
@@ -168,7 +190,8 @@ func (b *Builder) ReturnConst(verdict uint64) {
 
 func (b *Builder) seal(t Terminator) {
 	if b.sealed[b.cur] {
-		panic(fmt.Sprintf("cir: block %d already sealed", b.cur))
+		b.fail("cir: block %d (%s) already sealed", b.cur, b.prog.Blocks[b.cur].Label)
+		return
 	}
 	b.prog.Blocks[b.cur].Term = t
 	b.sealed[b.cur] = true
@@ -176,8 +199,12 @@ func (b *Builder) seal(t Terminator) {
 
 // Program finalizes and validates the program. Unreachable blocks (dead
 // code a front end legitimately produces, e.g. the post-block of a loop
-// whose body always breaks) are eliminated before verification.
+// whose body always breaks) are eliminated before verification. Structural
+// misuse latched during construction is reported here.
 func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	for i := range b.prog.Blocks {
 		if !b.sealed[i] {
 			return nil, fmt.Errorf("cir: block %d (%s) has no terminator", i, b.prog.Blocks[i].Label)

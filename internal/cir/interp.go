@@ -1,6 +1,7 @@
 package cir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,7 +26,16 @@ type Hooks struct {
 	// MaxSteps bounds total instructions executed (0 means the default of
 	// one million), guarding against non-terminating NF loops.
 	MaxSteps int
+	// Ctx, when non-nil, is polled every ctxPollMask+1 steps; cancellation
+	// aborts Run promptly with the context's error wrapped, so even a
+	// tight NF loop cannot outlive its caller's deadline.
+	Ctx context.Context
 }
+
+// ctxPollMask sets the cancellation poll period (power of two minus one):
+// one Err() call per 2048 steps keeps the overhead unmeasurable while
+// bounding cancellation latency to microseconds.
+const ctxPollMask = 2047
 
 // Interp executes programs. It is reusable across packets: registers and
 // scratch memory are re-zeroed on each Run, while Env-held state (flow
@@ -74,6 +84,11 @@ func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 		if steps > maxSteps {
 			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
 		}
+		if h != nil && h.Ctx != nil && steps&ctxPollMask == 0 {
+			if err := h.Ctx.Err(); err != nil {
+				return 0, fmt.Errorf("cir: %s interrupted: %w", it.prog.Name, err)
+			}
+		}
 		if h != nil && h.OnBlock != nil {
 			h.OnBlock(bi)
 		}
@@ -83,6 +98,11 @@ func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 			steps++
 			if steps > maxSteps {
 				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
+			}
+			if h != nil && h.Ctx != nil && steps&ctxPollMask == 0 {
+				if err := h.Ctx.Err(); err != nil {
+					return 0, fmt.Errorf("cir: %s interrupted: %w", it.prog.Name, err)
+				}
 			}
 			if h != nil && h.OnInstr != nil {
 				h.OnInstr(bi, in)

@@ -1,0 +1,36 @@
+// Package cliutil shares the -timeout/-budget flag plumbing across the
+// clara commands: every CLI builds its root context here so wall-clock
+// limits and resource budgets behave identically everywhere.
+package cliutil
+
+import (
+	"context"
+	"time"
+
+	"clara/internal/budget"
+)
+
+// BudgetFlagDoc documents the -budget spec syntax once for all commands.
+const BudgetFlagDoc = "resource budget, e.g. symsteps=200000,sympaths=64,simsteps=1e6,events=100000,flows=100000,dpi=4096"
+
+// TimeoutFlagDoc documents the -timeout flag once for all commands.
+const TimeoutFlagDoc = "wall-clock limit for the whole run, e.g. 30s (0 = none)"
+
+// Context builds the root context for one CLI invocation. A non-empty
+// budgetSpec attaches parsed limits; a positive timeout adds a deadline.
+// The returned cancel func is always non-nil and must be deferred.
+func Context(timeout time.Duration, budgetSpec string) (context.Context, context.CancelFunc, error) {
+	ctx := context.Background()
+	if budgetSpec != "" {
+		l, err := budget.Parse(budgetSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx = budget.With(ctx, l)
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}

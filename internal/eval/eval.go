@@ -32,6 +32,10 @@ type Config struct {
 	Packets  int   // packets per simulated trace (default 4000)
 	Seed     int64 // trace + table seed (default 11)
 	Parallel int   // worker-pool width for grid cells (default GOMAXPROCS)
+	// Ctx, when non-nil, bounds every experiment: cancellation aborts grid
+	// cells promptly and budget.Limits carried on it are enforced by each
+	// cell's enumeration, generation and simulation.
+	Ctx context.Context
 }
 
 func (c Config) packets() int {
@@ -50,6 +54,13 @@ func (c Config) seed() int64 {
 
 func (c Config) parallel() int {
 	return runner.Parallelism(c.Parallel)
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // run compiles, maps (with hints), simulates, and optionally predicts one
@@ -71,6 +82,10 @@ type runResult struct {
 }
 
 func (r run) execute(predictToo bool) (*runResult, error) {
+	return r.executeContext(r.cfg.ctx(), predictToo)
+}
+
+func (r run) executeContext(ctx context.Context, predictToo bool) (*runResult, error) {
 	prog, err := r.spec.Compile()
 	if err != nil {
 		return nil, err
@@ -80,7 +95,7 @@ func (r run) execute(predictToo bool) (*runResult, error) {
 		return nil, err
 	}
 	wl := mapper.FromProfile(r.prof)
-	classes, err := symexec.Enumerate(prog)
+	classes, err := symexec.EnumerateContext(ctx, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -98,11 +113,11 @@ func (r run) execute(predictToo bool) (*runResult, error) {
 		out.Pred = p
 		out.Predicted = p.MeanCycles
 	}
-	tr, err := workload.Generate(r.prof)
+	tr, err := workload.GenerateContext(ctx, r.prof)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := nicsim.New(nicsim.Config{
+	sim, err := nicsim.NewContext(ctx, nicsim.Config{
 		NIC: r.nic, Prog: prog,
 		Place: nicsim.Placement{
 			StateMem: m.StateMem, UseFlowCache: m.UseFlowCache,
@@ -114,7 +129,7 @@ func (r run) execute(predictToo bool) (*runResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(tr)
+	res, err := sim.RunContext(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -195,15 +210,15 @@ func Fig1(cfg Config) ([]VariantRow, error) {
 		{"HH", "60kpps", nf.HeavyHitter(1000), mapper.Hints{}, rate(60_000)},
 		{"HH", "240kpps", nf.HeavyHitter(1000), mapper.Hints{}, rate(240_000)},
 	}
-	rows, err := runner.Map(context.Background(), cfg.parallel(), len(variants),
-		func(_ context.Context, i int) (VariantRow, error) {
+	rows, err := runner.Map(cfg.ctx(), cfg.parallel(), len(variants),
+		func(cctx context.Context, i int) (VariantRow, error) {
 			v := variants[i]
 			prof := cfg.baseProfile()
 			if v.mutate != nil {
 				v.mutate(&prof)
 			}
 			r := run{cfg: cfg, nic: lnic.Netronome(), spec: v.spec, hints: v.hints, prof: prof}
-			res, err := r.execute(false)
+			res, err := r.executeContext(cctx, false)
 			if err != nil {
 				return VariantRow{}, fmt.Errorf("fig1 %s/%s: %w", v.nf, v.name, err)
 			}
@@ -252,8 +267,8 @@ type SweepPoint struct {
 	RelErr    float64
 }
 
-func sweepPoint(r run, x int) (SweepPoint, error) {
-	res, err := r.execute(true)
+func sweepPoint(ctx context.Context, r run, x int) (SweepPoint, error) {
+	res, err := r.executeContext(ctx, true)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -268,8 +283,8 @@ func sweepPoint(r run, x int) (SweepPoint, error) {
 // The paper's LPM exercises software match/action lookups, so the flow
 // cache is disabled, matching its latency-grows-with-entries behaviour.
 func Fig3a(cfg Config) ([]SweepPoint, error) {
-	return runner.Map(context.Background(), cfg.parallel(), 6,
-		func(_ context.Context, i int) (SweepPoint, error) {
+	return runner.Map(cfg.ctx(), cfg.parallel(), 6,
+		func(cctx context.Context, i int) (SweepPoint, error) {
 			entries := 5000 + i*5000
 			// The paper's LPM does software match/action processing in DRAM
 			// (§2.1), so the rule table is pinned to the EMEM.
@@ -279,7 +294,7 @@ func Fig3a(cfg Config) ([]SweepPoint, error) {
 					PinState: map[string]string{"routes": "emem"}},
 				prof: cfg.baseProfile(),
 			}
-			p, err := sweepPoint(r, entries)
+			p, err := sweepPoint(cctx, r, entries)
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("fig3a entries=%d: %w", entries, err)
 			}
@@ -289,13 +304,13 @@ func Fig3a(cfg Config) ([]SweepPoint, error) {
 
 // Fig3b sweeps the VNF chain over payload sizes 200–1400 B.
 func Fig3b(cfg Config) ([]SweepPoint, error) {
-	return runner.Map(context.Background(), cfg.parallel(), 7,
-		func(_ context.Context, i int) (SweepPoint, error) {
+	return runner.Map(cfg.ctx(), cfg.parallel(), 7,
+		func(cctx context.Context, i int) (SweepPoint, error) {
 			payload := 200 + i*200
 			prof := cfg.baseProfile()
 			prof.PayloadBytes = payload
 			r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.VNFChain(), prof: prof}
-			p, err := sweepPoint(r, payload)
+			p, err := sweepPoint(cctx, r, payload)
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("fig3b payload=%d: %w", payload, err)
 			}
@@ -305,14 +320,14 @@ func Fig3b(cfg Config) ([]SweepPoint, error) {
 
 // Fig3c sweeps NAT over payload sizes 200–1400 B (cycles).
 func Fig3c(cfg Config) ([]SweepPoint, error) {
-	return runner.Map(context.Background(), cfg.parallel(), 7,
-		func(_ context.Context, i int) (SweepPoint, error) {
+	return runner.Map(cfg.ctx(), cfg.parallel(), 7,
+		func(cctx context.Context, i int) (SweepPoint, error) {
 			payload := 200 + i*200
 			prof := cfg.baseProfile()
 			prof.PayloadBytes = payload
 			prof.TCPFraction = 1.0
 			r := run{cfg: cfg, nic: lnic.Netronome(), spec: nf.NAT(true), prof: prof}
-			p, err := sweepPoint(r, payload)
+			p, err := sweepPoint(cctx, r, payload)
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("fig3c payload=%d: %w", payload, err)
 			}
@@ -371,7 +386,7 @@ func Accuracy(cfg Config) ([]AccuracyRow, error) {
 		{"VNF", Fig3b, 0.03},
 		{"NAT", Fig3c, 0.07},
 	}
-	return runner.Map(context.Background(), cfg.parallel(), len(panels),
+	return runner.Map(cfg.ctx(), cfg.parallel(), len(panels),
 		func(_ context.Context, i int) (AccuracyRow, error) {
 			points, err := panels[i].sweep(cfg)
 			if err != nil {
@@ -525,7 +540,7 @@ func ILPvsGreedy(cfg Config) ([]AblationRow, error) {
 	nic := lnic.Netronome()
 	wl := mapper.FromProfile(cfg.baseProfile())
 	specs := []nf.Spec{nf.LPM(20000), nf.NAT(true), nf.Firewall(65536), nf.VNFChain()}
-	return runner.Map(context.Background(), cfg.parallel(), len(specs),
+	return runner.Map(cfg.ctx(), cfg.parallel(), len(specs),
 		func(_ context.Context, i int) (AblationRow, error) {
 			prog, err := specs[i].Compile()
 			if err != nil {
@@ -619,8 +634,8 @@ func Partial(cfg Config) ([]PartialRow, error) {
 	host := lnic.HostX86()
 	wl := mapper.FromProfile(cfg.baseProfile())
 	specs := []nf.Spec{nf.Firewall(65536), nf.DPI(), nf.NAT(true), nf.VNFChain()}
-	return runner.Map(context.Background(), cfg.parallel(), len(specs),
-		func(_ context.Context, i int) (PartialRow, error) {
+	return runner.Map(cfg.ctx(), cfg.parallel(), len(specs),
+		func(cctx context.Context, i int) (PartialRow, error) {
 			prog, err := specs[i].Compile()
 			if err != nil {
 				return PartialRow{}, err
@@ -629,12 +644,12 @@ func Partial(cfg Config) ([]PartialRow, error) {
 			if err != nil {
 				return PartialRow{}, err
 			}
-			classes, err := symexec.Enumerate(prog)
+			classes, err := symexec.EnumerateContext(cctx, prog)
 			if err != nil {
 				return PartialRow{}, err
 			}
 			symexec.AnnotateGraph(g, classes, symexec.WeightsFor(wl))
-			an, err := partial.Analyze(g, nic, host, wl, partial.DefaultPCIe())
+			an, err := partial.AnalyzeContext(cctx, g, nic, host, wl, partial.DefaultPCIe(), 0)
 			if err != nil {
 				return PartialRow{}, err
 			}

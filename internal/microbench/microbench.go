@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/nicsim"
@@ -64,7 +65,7 @@ func (r *Report) Get(name string) (Param, bool) {
 // parameters. Probes run concurrently on the shared worker pool; use
 // RunParallel to control the width.
 func Run(nic *lnic.LNIC) (*Report, error) {
-	return RunParallel(nic, 0)
+	return RunContext(context.Background(), nic, 0)
 }
 
 // RunParallel is Run with an explicit worker count (values < 1 select
@@ -73,6 +74,13 @@ func Run(nic *lnic.LNIC) (*Report, error) {
 // sheet is identical at any width: results are flattened in the fixed probe
 // order, not completion order.
 func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
+	return RunContext(context.Background(), nic, workers)
+}
+
+// RunContext is RunParallel under a cancellable, budgeted context: every
+// probe simulation inherits ctx, so cancelling mid-suite aborts in-flight
+// probes promptly and returns a *budget.CanceledError.
+func RunContext(ctx context.Context, nic *lnic.LNIC, workers int) (*Report, error) {
 	core := representativeCore(nic)
 	param := func(name string, v float64, unit string, book float64) []Param {
 		return []Param{{Name: name, Value: v, Unit: unit, Databook: book}}
@@ -80,49 +88,49 @@ func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
 
 	// Each step measures one parameter group; the slice order fixes the
 	// report order regardless of which probe finishes first.
-	steps := []func() ([]Param, error){
+	steps := []func(context.Context) ([]Param, error){
 		// 1) General-purpose compute instructions: difference two
 		// straight-line programs with controlled extra instruction counts.
-		func() ([]Param, error) {
-			v, err := instrCost(nic, cir.OpAdd)
+		func(ctx context.Context) ([]Param, error) {
+			v, err := instrCost(ctx, nic, cir.OpAdd)
 			if err != nil {
 				return nil, err
 			}
 			return param("alu", v, "cycles/instr", core.ClassCycles[cir.ClassALU]), nil
 		},
-		func() ([]Param, error) {
-			v, err := instrCost(nic, cir.OpMul)
+		func(ctx context.Context) ([]Param, error) {
+			v, err := instrCost(ctx, nic, cir.OpMul)
 			if err != nil {
 				return nil, err
 			}
 			return param("mul", v, "cycles/instr", core.ClassCycles[cir.ClassMul]), nil
 		},
-		func() ([]Param, error) {
-			v, err := instrCost(nic, cir.OpDiv)
+		func(ctx context.Context) ([]Param, error) {
+			v, err := instrCost(ctx, nic, cir.OpDiv)
 			if err != nil {
 				return nil, err
 			}
 			return param("div", v, "cycles/instr", core.ClassCycles[cir.ClassDiv]), nil
 		},
 		// 2) Header and metadata modifications.
-		func() ([]Param, error) {
-			v, err := deltaCost(nic, metaProbe(1), metaProbe(9), 8)
+		func(ctx context.Context) ([]Param, error) {
+			v, err := deltaCost(ctx, nic, metaProbe(1), metaProbe(9), 8)
 			if err != nil {
 				return nil, err
 			}
 			return param("metadata-mod", v, "cycles/op", nic.MetadataCycles), nil
 		},
 		// 3) Packet parsers.
-		func() ([]Param, error) {
-			v, err := parseCost(nic)
+		func(ctx context.Context) ([]Param, error) {
+			v, err := parseCost(ctx, nic)
 			if err != nil {
 				return nil, err
 			}
 			return param("parse-header", v, "cycles", nic.ParseCycles), nil
 		},
 		// 4) Checksum unit at the accelerator vs software, 1000-byte packets.
-		func() ([]Param, error) {
-			cksumHW, cksumSW, err := checksumCost(nic)
+		func(ctx context.Context) ([]Param, error) {
+			cksumHW, cksumSW, err := checksumCost(ctx, nic)
 			if err != nil {
 				return nil, err
 			}
@@ -135,12 +143,12 @@ func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
 			return append(out, param("checksum-sw-1000B", cksumSW, "cycles", 0)...), nil
 		},
 		// 5) Flow cache hit service time.
-		func() ([]Param, error) {
+		func(ctx context.Context) ([]Param, error) {
 			ids := nic.Accelerators("flowcache")
 			if len(ids) == 0 {
 				return nil, nil
 			}
-			fc, err := flowCacheCost(nic)
+			fc, err := flowCacheCost(ctx, nic)
 			if err != nil {
 				return nil, err
 			}
@@ -154,9 +162,9 @@ func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
 		if _, ok := nic.AccessCycles(representativeCoreID(nic), region, false); !ok {
 			continue
 		}
-		steps = append(steps, func() ([]Param, error) {
+		steps = append(steps, func(ctx context.Context) ([]Param, error) {
 			m := nic.Mems[region]
-			lat, err := memoryCost(nic, region)
+			lat, err := memoryCost(ctx, nic, region)
 			if err != nil {
 				return nil, err
 			}
@@ -168,9 +176,12 @@ func RunParallel(nic *lnic.LNIC, workers int) (*Report, error) {
 		})
 	}
 
-	groups, err := runner.Map(context.Background(), workers, len(steps),
-		func(_ context.Context, i int) ([]Param, error) { return steps[i]() })
+	groups, err := runner.Map(ctx, workers, len(steps),
+		func(sctx context.Context, i int) ([]Param, error) { return steps[i](sctx) })
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &budget.CanceledError{Stage: "microbench", NF: nic.Name, Err: cerr}
+		}
 		return nil, err
 	}
 	rep := &Report{NIC: nic.Name}
@@ -196,8 +207,8 @@ func representativeCoreID(nic *lnic.LNIC) int {
 
 // meanLatency runs a probe program over a small fixed trace and returns the
 // mean packet latency in cycles.
-func meanLatency(nic *lnic.LNIC, prog *cir.Program, place nicsim.Placement) (float64, error) {
-	sim, err := nicsim.New(nicsim.Config{NIC: nic, Prog: prog, Place: place, Seed: 42})
+func meanLatency(ctx context.Context, nic *lnic.LNIC, prog *cir.Program, place nicsim.Placement) (float64, error) {
+	sim, err := nicsim.NewContext(ctx, nicsim.Config{NIC: nic, Prog: prog, Place: place, Seed: 42})
 	if err != nil {
 		return 0, err
 	}
@@ -205,11 +216,11 @@ func meanLatency(nic *lnic.LNIC, prog *cir.Program, place nicsim.Placement) (flo
 		Name: "probe", Packets: 64, RatePPS: 1000, Flows: 8,
 		TCPFraction: 1, PayloadBytes: 64, Seed: 9,
 	}
-	tr, err := workload.Generate(p)
+	tr, err := workload.GenerateContext(ctx, p)
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(tr)
+	res, err := sim.RunContext(ctx, tr)
 	if err != nil {
 		return 0, err
 	}
@@ -220,12 +231,12 @@ func meanLatency(nic *lnic.LNIC, prog *cir.Program, place nicsim.Placement) (flo
 }
 
 // deltaCost measures (latency(progB) - latency(progA)) / n.
-func deltaCost(nic *lnic.LNIC, a, b *cir.Program, n int) (float64, error) {
-	la, err := meanLatency(nic, a, nicsim.DefaultPlacement(nic, a))
+func deltaCost(ctx context.Context, nic *lnic.LNIC, a, b *cir.Program, n int) (float64, error) {
+	la, err := meanLatency(ctx, nic, a, nicsim.DefaultPlacement(nic, a))
 	if err != nil {
 		return 0, err
 	}
-	lb, err := meanLatency(nic, b, nicsim.DefaultPlacement(nic, b))
+	lb, err := meanLatency(ctx, nic, b, nicsim.DefaultPlacement(nic, b))
 	if err != nil {
 		return 0, err
 	}
@@ -244,8 +255,8 @@ func instrProbe(op cir.Op, count int) *cir.Program {
 	return b.MustProgram()
 }
 
-func instrCost(nic *lnic.LNIC, op cir.Op) (float64, error) {
-	return deltaCost(nic, instrProbe(op, 8), instrProbe(op, 72), 64)
+func instrCost(ctx context.Context, nic *lnic.LNIC, op cir.Op) (float64, error) {
+	return deltaCost(ctx, nic, instrProbe(op, 8), instrProbe(op, 72), 64)
 }
 
 // metaProbe builds a program performing n metadata modifications.
@@ -263,7 +274,7 @@ func metaProbe(n int) *cir.Program {
 }
 
 // parseCost measures first-header parse cost as parse-vs-noop delta.
-func parseCost(nic *lnic.LNIC) (float64, error) {
+func parseCost(ctx context.Context, nic *lnic.LNIC) (float64, error) {
 	noop := func() *cir.Program {
 		b := cir.NewBuilder("probe-noop")
 		b.ReturnConst(cir.VerdictPass)
@@ -276,12 +287,12 @@ func parseCost(nic *lnic.LNIC) (float64, error) {
 		b.ReturnConst(cir.VerdictPass)
 		return b.MustProgram()
 	}()
-	return deltaCost(nic, noop, parse, 1)
+	return deltaCost(ctx, nic, noop, parse, 1)
 }
 
 // checksumCost measures the checksum unit and the software fallback on
 // 1000-byte payloads.
-func checksumCost(nic *lnic.LNIC) (hw, sw float64, err error) {
+func checksumCost(ctx context.Context, nic *lnic.LNIC) (hw, sw float64, err error) {
 	prog := func() *cir.Program {
 		b := cir.NewBuilder("probe-cksum")
 		proto := b.Const(cir.ProtoTCP)
@@ -300,7 +311,7 @@ func checksumCost(nic *lnic.LNIC) (hw, sw float64, err error) {
 	run := func(p *cir.Program, accel bool) (float64, error) {
 		pl := nicsim.DefaultPlacement(nic, p)
 		pl.ChecksumOnAccel = accel
-		sim, err := nicsim.New(nicsim.Config{NIC: nic, Prog: p, Place: pl, Seed: 42})
+		sim, err := nicsim.NewContext(ctx, nicsim.Config{NIC: nic, Prog: p, Place: pl, Seed: 42})
 		if err != nil {
 			return 0, err
 		}
@@ -308,11 +319,11 @@ func checksumCost(nic *lnic.LNIC) (hw, sw float64, err error) {
 			Name: "probe", Packets: 64, RatePPS: 1000, Flows: 8,
 			TCPFraction: 1, PayloadBytes: 1000, Seed: 9,
 		}
-		tr, err := workload.Generate(wp)
+		tr, err := workload.GenerateContext(ctx, wp)
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(tr)
+		res, err := sim.RunContext(ctx, tr)
 		if err != nil {
 			return 0, err
 		}
@@ -334,7 +345,7 @@ func checksumCost(nic *lnic.LNIC) (hw, sw float64, err error) {
 }
 
 // flowCacheCost measures the hit-path service time of the flow cache.
-func flowCacheCost(nic *lnic.LNIC) (float64, error) {
+func flowCacheCost(ctx context.Context, nic *lnic.LNIC) (float64, error) {
 	prog := func() *cir.Program {
 		b := cir.NewBuilder("probe-fc")
 		st := b.DeclareState(cir.StateObj{Name: "t", Kind: cir.StateMap, KeySize: 13, ValueSize: 8, Capacity: 1024})
@@ -353,7 +364,7 @@ func flowCacheCost(nic *lnic.LNIC) (float64, error) {
 	}()
 	pl := nicsim.DefaultPlacement(nic, prog)
 	pl.UseFlowCache = map[string]bool{"t": true}
-	sim, err := nicsim.New(nicsim.Config{NIC: nic, Prog: prog, Place: pl, Seed: 42})
+	sim, err := nicsim.NewContext(ctx, nicsim.Config{NIC: nic, Prog: prog, Place: pl, Seed: 42})
 	if err != nil {
 		return 0, err
 	}
@@ -362,11 +373,11 @@ func flowCacheCost(nic *lnic.LNIC) (float64, error) {
 		Name: "probe", Packets: 512, RatePPS: 1000, Flows: 1,
 		TCPFraction: 1, PayloadBytes: 64, Seed: 9,
 	}
-	tr, err := workload.Generate(wp)
+	tr, err := workload.GenerateContext(ctx, wp)
 	if err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(tr)
+	res, err := sim.RunContext(ctx, tr)
 	if err != nil {
 		return 0, err
 	}
@@ -377,7 +388,7 @@ func flowCacheCost(nic *lnic.LNIC) (float64, error) {
 		b.ReturnConst(cir.VerdictPass)
 		return b.MustProgram()
 	}()
-	base, err := meanLatency(nic, ctrl, nicsim.DefaultPlacement(nic, ctrl))
+	base, err := meanLatency(ctx, nic, ctrl, nicsim.DefaultPlacement(nic, ctrl))
 	if err != nil {
 		return 0, err
 	}
@@ -386,7 +397,7 @@ func flowCacheCost(nic *lnic.LNIC) (float64, error) {
 
 // memoryCost measures per-access latency of a region using an array state
 // pinned there: the probe issues 64 extra reads versus an 8-read control.
-func memoryCost(nic *lnic.LNIC, region int) (float64, error) {
+func memoryCost(ctx context.Context, nic *lnic.LNIC, region int) (float64, error) {
 	probe := func(reads int) *cir.Program {
 		b := cir.NewBuilder(fmt.Sprintf("probe-mem-%d", reads))
 		st := b.DeclareState(cir.StateObj{Name: "a", Kind: cir.StateArray, ValueSize: 8, Capacity: 64})
@@ -404,11 +415,11 @@ func memoryCost(nic *lnic.LNIC, region int) (float64, error) {
 	}
 	a := probe(8)
 	bp := probe(72)
-	la, err := meanLatency(nic, a, place(a))
+	la, err := meanLatency(ctx, nic, a, place(a))
 	if err != nil {
 		return 0, err
 	}
-	lb, err := meanLatency(nic, bp, place(bp))
+	lb, err := meanLatency(ctx, nic, bp, place(bp))
 	if err != nil {
 		return 0, err
 	}
@@ -428,6 +439,11 @@ type LatencyPoint struct {
 // profile the knee sits at the CTM residency threshold: packets under 1 kB
 // live in the CTM entirely, larger packets spill their tails to the EMEM.
 func PacketCurve(nic *lnic.LNIC, sizes []int) ([]LatencyPoint, error) {
+	return PacketCurveContext(context.Background(), nic, sizes)
+}
+
+// PacketCurveContext is PacketCurve under a cancellable context.
+func PacketCurveContext(ctx context.Context, nic *lnic.LNIC, sizes []int) ([]LatencyPoint, error) {
 	// A payload scan: one payload_byte read per byte.
 	prog := func() *cir.Program {
 		b := cir.NewBuilder("probe-pktcurve")
@@ -454,10 +470,13 @@ func PacketCurve(nic *lnic.LNIC, sizes []int) ([]LatencyPoint, error) {
 	}()
 	var out []LatencyPoint
 	for _, size := range sizes {
+		if err := budget.Canceled(ctx, "microbench", prog.Name); err != nil {
+			return nil, err
+		}
 		if size < 1 {
 			size = 1
 		}
-		sim, err := nicsim.New(nicsim.Config{
+		sim, err := nicsim.NewContext(ctx, nicsim.Config{
 			NIC: nic, Prog: prog, Place: nicsim.DefaultPlacement(nic, prog), Seed: 42,
 		})
 		if err != nil {
@@ -467,11 +486,11 @@ func PacketCurve(nic *lnic.LNIC, sizes []int) ([]LatencyPoint, error) {
 			Name: "probe", Packets: 16, RatePPS: 1000, Flows: 4,
 			TCPFraction: 0, PayloadBytes: size, Seed: 9,
 		}
-		tr, err := workload.Generate(wp)
+		tr, err := workload.GenerateContext(ctx, wp)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(tr)
+		res, err := sim.RunContext(ctx, tr)
 		if err != nil {
 			return nil, err
 		}

@@ -156,8 +156,14 @@ func (e *exec) VCall(in cir.Instr, args []uint64) (uint64, error) {
 		seg := e.l4SegmentLen()
 		if s.cfg.Place.ChecksumOnAccel {
 			if accels := s.nic.Accelerators("checksum"); len(accels) > 0 {
-				e.now = s.accelVisit(accels[0], seg, e.now, &e.bd)
-				return 0, nil
+				if s.accelDown("checksum") {
+					s.noteFallback("checksum") // outage: software path below
+				} else if t, ok := s.accelVisit(accels[0], seg, e.now, &e.bd); ok {
+					e.now = t
+					return 0, nil
+				} else {
+					s.noteFallback("checksum") // queue overflow
+				}
 			}
 		}
 		// Software checksum on the core: fixed setup plus one ALU per byte
@@ -256,8 +262,14 @@ func (e *exec) VCall(in cir.Instr, args []uint64) (uint64, error) {
 		n := int(args[1])
 		if s.cfg.Place.CryptoOnAccel {
 			if accels := s.nic.Accelerators("crypto"); len(accels) > 0 {
-				e.now = s.accelVisit(accels[0], n, e.now, &e.bd)
-				return 0, nil
+				if s.accelDown("crypto") {
+					s.noteFallback("crypto") // outage: software path below
+				} else if t, ok := s.accelVisit(accels[0], n, e.now, &e.bd); ok {
+					e.now = t
+					return 0, nil
+				} else {
+					s.noteFallback("crypto") // queue overflow
+				}
 			}
 		}
 		// Software crypto: ~30 ALU ops per byte plus key schedule.
@@ -305,13 +317,23 @@ func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
 	if e.latched == nil {
 		e.latched = map[string]*mapEntry{}
 	}
-	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
-		e.now = s.accelVisit(s.fcUnit, 0, e.now, &e.bd)
-		if ent, ok := s.fc.get(name, key); ok {
-			if me, live := ent.(*mapEntry); live {
-				e.latched[name] = me
-				return 1, nil
+	useFC := s.cfg.Place.UseFlowCache[name] && s.fc != nil
+	if useFC && s.accelDown("flowcache") {
+		s.noteFallback("flowcache") // outage: direct memory lookup
+		useFC = false
+	}
+	if useFC {
+		if t, ok := s.accelVisit(s.fcUnit, 0, e.now, &e.bd); ok {
+			e.now = t
+			if ent, hit := s.fc.get(name, key); hit {
+				if me, live := ent.(*mapEntry); live {
+					e.latched[name] = me
+					return 1, nil
+				}
 			}
+		} else {
+			s.noteFallback("flowcache") // queue overflow: bypass this request
+			useFC = false
 		}
 	}
 	e.charge(s.nic.HashCycles)
@@ -323,7 +345,7 @@ func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
 	}
 	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), false, &e.bd)
 	e.latched[name] = ent
-	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+	if useFC {
 		s.fc.put(name, key, ent)
 	}
 	return 1, nil
@@ -350,7 +372,7 @@ func (e *exec) mapPut(name string, args []uint64) (uint64, error) {
 		e.latched = map[string]*mapEntry{}
 	}
 	e.latched[name] = ent
-	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+	if s.cfg.Place.UseFlowCache[name] && s.fc != nil && !s.accelDown("flowcache") {
 		s.fc.put(name, args[0], ent)
 	}
 	return 0, nil
@@ -391,8 +413,17 @@ func (e *exec) lpmLookup(name string, addr uint32) (uint64, error) {
 		return 0, fmt.Errorf("nicsim: %s is not an lpm state", name)
 	}
 	if s.cfg.Place.UseFlowCache[name] && s.fc != nil {
+		if s.accelDown("flowcache") {
+			s.noteFallback("flowcache") // outage: software scan
+			return e.lpmScan(l, addr), nil
+		}
 		key := e.flowHash()
-		e.now = s.accelVisit(s.fcUnit, 0, e.now, &e.bd)
+		t, ok := s.accelVisit(s.fcUnit, 0, e.now, &e.bd)
+		if !ok {
+			s.noteFallback("flowcache") // queue overflow: software scan
+			return e.lpmScan(l, addr), nil
+		}
+		e.now = t
 		if v, okc := s.fc.get(name, key); okc {
 			return v.(uint64), nil
 		}
@@ -431,6 +462,10 @@ func (e *exec) dpiScan(name string) (uint64, error) {
 		return 0, fmt.Errorf("nicsim: %s is not a pattern state", name)
 	}
 	payload := e.pkt.Payload
+	if m := s.runDPI; m > 0 && int64(len(payload)) > m {
+		// DPI byte budget: scan only the first m payload bytes.
+		payload = payload[:m]
+	}
 	i := 0
 	matches := p.ac.Scan(payload, func(state int32) {
 		e.payloadRead(i)

@@ -1,0 +1,284 @@
+package nicsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clara/internal/lnic"
+)
+
+// Faults configures hardware fault injection for a simulation run. The
+// predictor's claims are only trustworthy if they can be validated against
+// sick hardware as well as healthy hardware: an accelerator that browns out,
+// a queue that overflows under burst, a memory bank with a soft-error rate,
+// a link that corrupts frames. Each field is independent and zero-valued
+// fields inject nothing, so a partial spec degrades exactly one subsystem.
+//
+// All fault randomness draws from a dedicated RNG (seeded by Seed, falling
+// back to the simulation seed) that is separate from the simulator's base
+// stream, so enabling faults never perturbs the non-faulted packets' timing
+// and a fixed seed reproduces the exact same fault pattern.
+type Faults struct {
+	// Outage marks accelerator classes ("checksum", "crypto", "flowcache")
+	// as completely failed: every request falls back to the software path
+	// (or, for the flow cache, a direct memory lookup) and is counted.
+	Outage map[string]bool
+	// Degrade multiplies an accelerator class's service time (≥ 1); models
+	// thermal throttling or a partially failed unit.
+	Degrade map[string]float64
+	// QueueCap bounds queue waits: a hub visit whose wait exceeds
+	// QueueCap×service drops the packet; an accelerator visit whose wait
+	// exceeds QueueCap×service overflows to the software fallback. 0 means
+	// unbounded (no overflow faults).
+	QueueCap int
+	// MemFault maps a memory-region name (as published by the LNIC profile,
+	// e.g. "emem", "dram") to a per-access soft-fault probability in [0,1].
+	// A faulted access is retried once, doubling its cost.
+	MemFault map[string]float64
+	// Corrupt is the per-packet probability in [0,1] of flipping one random
+	// byte of the frame before it enters the NIC (bit-rot on the wire).
+	Corrupt float64
+	// Seed seeds the fault RNG; 0 inherits the simulation seed.
+	Seed int64
+}
+
+// accelClasses are the accelerator classes fault specs may name.
+var accelClasses = map[string]bool{"checksum": true, "crypto": true, "flowcache": true}
+
+// Validate checks class names, region names and probability ranges against
+// the target NIC.
+func (f *Faults) Validate(nic *lnic.LNIC) error {
+	for class := range f.Outage {
+		if !accelClasses[class] {
+			return fmt.Errorf("faults: unknown accelerator class %q in outage", class)
+		}
+	}
+	for class, mult := range f.Degrade {
+		if !accelClasses[class] {
+			return fmt.Errorf("faults: unknown accelerator class %q in degrade", class)
+		}
+		if mult < 1 {
+			return fmt.Errorf("faults: degrade factor %g for %s below 1", mult, class)
+		}
+	}
+	if f.QueueCap < 0 {
+		return fmt.Errorf("faults: negative queuecap %d", f.QueueCap)
+	}
+	for region, rate := range f.MemFault {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("faults: memfault rate %g for %s outside [0,1]", rate, region)
+		}
+		found := false
+		for i := range nic.Mems {
+			if nic.Mems[i].Name == region {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("faults: NIC %s has no memory region %q", nic.Name, region)
+		}
+	}
+	if f.Corrupt < 0 || f.Corrupt > 1 {
+		return fmt.Errorf("faults: corrupt rate %g outside [0,1]", f.Corrupt)
+	}
+	return nil
+}
+
+// ParseFaults decodes a compact fault spec such as
+//
+//	"outage=crypto+checksum,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7"
+//
+// Keys may repeat and class lists use '+'. An empty spec returns nil (no
+// faults). Class and region names are validated later against the target
+// NIC by New.
+func ParseFaults(spec string) (*Faults, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f := &Faults{
+		Outage:   map[string]bool{},
+		Degrade:  map[string]float64{},
+		MemFault: map[string]float64{},
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("faults: bad field %q (want key=value)", kv)
+		}
+		key, val := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		switch key {
+		case "outage":
+			for _, class := range strings.Split(val, "+") {
+				class = strings.TrimSpace(class)
+				if !accelClasses[class] {
+					return nil, fmt.Errorf("faults: unknown accelerator class %q in outage", class)
+				}
+				f.Outage[class] = true
+			}
+		case "degrade":
+			for _, item := range strings.Split(val, "+") {
+				class, mult, err := parseRated(item)
+				if err != nil {
+					return nil, fmt.Errorf("faults: degrade %q: %v", item, err)
+				}
+				if !accelClasses[class] {
+					return nil, fmt.Errorf("faults: unknown accelerator class %q in degrade", class)
+				}
+				if mult < 1 {
+					return nil, fmt.Errorf("faults: degrade factor %g for %s below 1", mult, class)
+				}
+				f.Degrade[class] = mult
+			}
+		case "queuecap":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: bad queuecap %q", val)
+			}
+			f.QueueCap = n
+		case "memfault":
+			for _, item := range strings.Split(val, "+") {
+				region, rate, err := parseRated(item)
+				if err != nil {
+					return nil, fmt.Errorf("faults: memfault %q: %v", item, err)
+				}
+				if rate < 0 || rate > 1 {
+					return nil, fmt.Errorf("faults: memfault rate %g for %s outside [0,1]", rate, region)
+				}
+				f.MemFault[region] = rate
+			}
+		case "corrupt":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: bad corrupt rate %q", val)
+			}
+			f.Corrupt = p
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", val)
+			}
+			f.Seed = n
+		default:
+			return nil, fmt.Errorf("faults: unknown field %q (have outage, degrade, queuecap, memfault, corrupt, seed)", key)
+		}
+	}
+	return f, nil
+}
+
+// parseRated splits "name:number".
+func parseRated(item string) (string, float64, error) {
+	item = strings.TrimSpace(item)
+	parts := strings.SplitN(item, ":", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("want name:value")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return "", 0, err
+	}
+	return strings.TrimSpace(parts[0]), v, nil
+}
+
+// FaultReport accounts the faults a run actually injected, surfaced in
+// Result so a prediction can be compared against the degraded run and so
+// operators can see exactly how sick the simulated hardware was.
+type FaultReport struct {
+	// Dropped counts packets lost to hub queue overflow (never executed).
+	Dropped int
+	// Corrupted counts packets whose frame bytes were flipped on ingress.
+	Corrupted int
+	// FaultedPackets counts packets that experienced at least one injected
+	// fault of any kind and still completed.
+	FaultedPackets int
+	// AccelFallbacks counts, per accelerator class, requests served by the
+	// software path because the unit was out or its queue overflowed.
+	AccelFallbacks map[string]int
+	// MemFaults counts injected soft faults (retries) per memory region.
+	MemFaults map[string]int
+	// DegradeCycles sums, per accelerator class, the extra service cycles
+	// added by degradation.
+	DegradeCycles map[string]float64
+}
+
+// Any reports whether the run injected any fault at all.
+func (r *FaultReport) Any() bool {
+	return r.Dropped > 0 || r.Corrupted > 0 || r.FaultedPackets > 0 ||
+		len(r.AccelFallbacks) > 0 || len(r.MemFaults) > 0 || len(r.DegradeCycles) > 0
+}
+
+// String renders a one-line-per-dimension summary for CLI reports.
+func (r *FaultReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dropped=%d corrupted=%d faulted=%d", r.Dropped, r.Corrupted, r.FaultedPackets)
+	for _, class := range sortedKeys(r.AccelFallbacks) {
+		fmt.Fprintf(&b, " fallback[%s]=%d", class, r.AccelFallbacks[class])
+	}
+	for _, region := range sortedKeys(r.MemFaults) {
+		fmt.Fprintf(&b, " memfault[%s]=%d", region, r.MemFaults[region])
+	}
+	for _, class := range sortedKeys(r.DegradeCycles) {
+		fmt.Fprintf(&b, " degrade[%s]=%.0fcyc", class, r.DegradeCycles[class])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accelDown reports whether an accelerator class is under a total outage.
+func (s *Sim) accelDown(class string) bool {
+	return s.faults != nil && s.faults.Outage[class]
+}
+
+// noteFallback records a software fallback forced by an outage or queue
+// overflow and marks the in-flight packet as faulted.
+func (s *Sim) noteFallback(class string) {
+	if s.report.AccelFallbacks == nil {
+		s.report.AccelFallbacks = map[string]int{}
+	}
+	s.report.AccelFallbacks[class]++
+	s.pktFaulted = true
+}
+
+func (s *Sim) noteMemFault(region string) {
+	if s.report.MemFaults == nil {
+		s.report.MemFaults = map[string]int{}
+	}
+	s.report.MemFaults[region]++
+	s.pktFaulted = true
+}
+
+func (s *Sim) noteDegrade(class string, extra float64) {
+	if s.report.DegradeCycles == nil {
+		s.report.DegradeCycles = map[string]float64{}
+	}
+	s.report.DegradeCycles[class] += extra
+	s.pktFaulted = true
+}
+
+// frand advances the dedicated fault RNG (xorshift64, distinct from the
+// simulator's base stream so fault injection never perturbs base timing).
+func (s *Sim) frand() uint64 {
+	s.frngState ^= s.frngState << 13
+	s.frngState ^= s.frngState >> 7
+	s.frngState ^= s.frngState << 17
+	return s.frngState
+}
+
+// frandFloat returns a uniform float64 in [0,1).
+func (s *Sim) frandFloat() float64 {
+	return float64(s.frand()>>11) / (1 << 53)
+}

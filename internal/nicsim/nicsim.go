@@ -12,11 +12,14 @@
 package nicsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/packet"
@@ -66,6 +69,9 @@ type Config struct {
 	// tables). Values are entry counts.
 	Preload map[string]int
 	Seed    int64
+	// Faults, when non-nil, injects hardware faults during the run (see the
+	// Faults type); validated against the NIC at New.
+	Faults *Faults
 }
 
 // Breakdown splits a packet's cycles by where they were spent.
@@ -102,6 +108,9 @@ type Result struct {
 	// if unused).
 	FlowCacheHitRate float64
 	Errors           int // packets whose execution faulted (counted, skipped)
+	// Faults accounts injected hardware faults (zero when Config.Faults is
+	// nil or nothing fired).
+	Faults FaultReport
 }
 
 // MeanLatency returns the average latency in cycles.
@@ -194,11 +203,27 @@ type Sim struct {
 	npu      *lnic.ComputeUnit // representative general core for pricing
 	npuUnit  int
 	rngState uint64
+
+	faults     *Faults
+	frngState  uint64 // dedicated fault RNG (see faults.go)
+	report     FaultReport
+	pktFaulted bool    // the in-flight packet saw an injected fault
+	runDPI     int64   // DPI byte budget for the current run (0 = whole payload)
+	svcSum     float64 // total NPU service cycles of completed packets
+	svcCount   int     // completed packets behind svcSum
 }
 
 // New validates the configuration and builds a simulator with preloaded
-// state.
+// state under default resource limits.
 func New(cfg Config) (*Sim, error) {
+	return NewContext(context.Background(), cfg)
+}
+
+// NewContext is New under a budgeted context: the declared capacity of every
+// simulated state object is checked against the context's flow-entry limit
+// (a safe default applies with no budget), so a hostile `array<8>[1e9]`
+// declaration is rejected here rather than allocating gigabytes.
+func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	if cfg.NIC == nil || cfg.Prog == nil {
 		return nil, fmt.Errorf("nicsim: nil NIC or program")
 	}
@@ -208,6 +233,12 @@ func New(cfg Config) (*Sim, error) {
 	if err := cir.Verify(cfg.Prog); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.NIC); err != nil {
+			return nil, err
+		}
+	}
+	lim := budget.From(ctx)
 	s := &Sim{
 		cfg:  cfg,
 		nic:  cfg.NIC,
@@ -219,6 +250,17 @@ func New(cfg Config) (*Sim, error) {
 		unitFree: map[int][]float64{},
 		fcUnit:   -1,
 		rngState: uint64(cfg.Seed)*2862933555777941757 + 3037000493,
+		faults:   cfg.Faults,
+	}
+	if s.faults != nil {
+		seed := s.faults.Seed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		s.frngState = uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		if s.frngState == 0 {
+			s.frngState = 0x9E3779B97F4A7C15
+		}
 	}
 	// One representative general core prices instruction execution; MAU
 	// stages stand in on core-less ASICs.
@@ -259,6 +301,12 @@ func New(cfg Config) (*Sim, error) {
 		return base
 	}
 	for _, obj := range s.prog.State {
+		if int64(obj.Capacity) > lim.FlowEntryLimit() {
+			return nil, &budget.ExceededError{
+				Resource: "flow-entries", Limit: lim.FlowEntryLimit(),
+				Stage: "simulate", NF: s.prog.Name,
+			}
+		}
 		region, ok := cfg.Place.StateMem[obj.Name]
 		if !ok {
 			region = len(s.nic.Mems) - 1
@@ -299,23 +347,81 @@ func New(cfg Config) (*Sim, error) {
 	return s, nil
 }
 
-// Run replays the trace through the NF and returns per-packet results.
+// Run replays the trace through the NF and returns per-packet results,
+// under default resource limits.
 func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
+	return s.RunContext(context.Background(), tr)
+}
+
+// RunContext is Run under a cancellable, budgeted context. The per-packet
+// interpreter step cap and the total packet (event) cap come from the
+// budget.Limits on ctx; a tripped budget returns a *budget.ExceededError and
+// a cancellation a *budget.CanceledError, both carrying the *Result covering
+// the packets that did complete — enough to compare a prediction against a
+// truncated run.
+func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, error) {
+	lim := budget.From(ctx)
+	simSteps := int(lim.SimStepLimit())
+	s.runDPI = lim.DPIBytes
 	res := &Result{
 		NFName:       s.prog.Name,
 		Packets:      make([]PacketResult, 0, len(tr.Packets)),
 		CacheHitRate: map[string]float64{},
 	}
+	// finish seals aggregate rates and the fault report; partial-result
+	// errors carry the same sealed Result a full run would return.
+	finish := func() *Result {
+		for id, c := range s.caches {
+			res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+		}
+		if s.fc != nil {
+			res.FlowCacheHitRate = s.fc.HitRate()
+		} else {
+			res.FlowCacheHitRate = math.NaN()
+		}
+		res.Faults = s.report
+		return res
+	}
 	interp := cir.NewInterp(s.prog)
 	clock := s.nic.ClockGHz
 	for i := range tr.Packets {
+		if err := ctx.Err(); err != nil {
+			return nil, &budget.CanceledError{
+				Stage: "simulate", NF: s.prog.Name, Err: err, Partial: finish(),
+			}
+		}
+		if lim.SimEvents > 0 && int64(i) >= lim.SimEvents {
+			return nil, &budget.ExceededError{
+				Resource: "sim-events", Limit: lim.SimEvents,
+				Stage: "simulate", NF: s.prog.Name, Partial: finish(),
+			}
+		}
 		tp := &tr.Packets[i]
 		arrival := tp.ArrivalNs * clock
+		s.pktFaulted = false
 
-		e := &exec{s: s, wire: tp.Data, pktIndex: i}
-		if err := e.pkt.Decode(tp.Data); err != nil {
+		data := tp.Data
+		if f := s.faults; f != nil && f.Corrupt > 0 && len(data) > 0 && s.frandFloat() < f.Corrupt {
+			// Corrupt a copy: trace packet data is shared across runs.
+			dup := make([]byte, len(data))
+			copy(dup, data)
+			dup[int(s.frand()%uint64(len(dup)))] ^= byte(s.frand()%255 + 1)
+			data = dup
+			s.report.Corrupted++
+			s.pktFaulted = true
+		}
+
+		e := &exec{s: s, wire: data, pktIndex: i}
+		if err := e.pkt.Decode(data); err != nil {
 			// Malformed frames traverse the NIC switch only.
-			t := s.hubVisit(0, arrival, &e.bd)
+			t, dropped := s.hubVisit(0, arrival, &e.bd)
+			if dropped {
+				s.report.Dropped++
+				continue
+			}
+			if s.pktFaulted {
+				s.report.FaultedPackets++
+			}
 			res.Packets = append(res.Packets, PacketResult{
 				ArrivalCycles: arrival, DoneCycles: t, Latency: t - arrival,
 				Verdict: cir.VerdictPass, Class: "other", Breakdown: e.bd,
@@ -327,9 +433,14 @@ func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
 		// Ingress: traffic-manager hub, DMA into packet memory, optional
 		// parse engine.
 		if len(s.nic.Hubs) > 0 {
-			t = s.hubVisit(0, t, &e.bd)
+			var dropped bool
+			t, dropped = s.hubVisit(0, t, &e.bd)
+			if dropped {
+				s.report.Dropped++
+				continue
+			}
 		}
-		dma := float64(len(tp.Data)/64+1) * 1.0
+		dma := float64(len(data)/64+1) * 1.0
 		t += dma
 		e.bd.Fixed += dma
 		if s.cfg.Place.ParseOnEngine {
@@ -347,16 +458,39 @@ func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
 			}
 		}
 		start := math.Max(t, s.threadFree[th])
+		// Under a fault-injected queue cap, the dispatch queue in front of
+		// the NPU complex is finite: a wait exceeding QueueCap mean service
+		// times (≈ QueueCap packets queued, by Little's law) sheds the
+		// packet. The mean needs a few completed packets to stabilize.
+		if f := s.faults; f != nil && f.QueueCap > 0 && s.svcCount >= 8 {
+			if avg := s.svcSum / float64(s.svcCount); start-t > float64(f.QueueCap)*avg {
+				s.report.Dropped++
+				continue
+			}
+		}
 		e.bd.Queue += start - t
 		e.now = start
 
-		verdict, err := interp.Run(e, &cir.Hooks{OnInstr: e.onInstr, MaxSteps: 5_000_000})
+		verdict, err := interp.Run(e, &cir.Hooks{OnInstr: e.onInstr, MaxSteps: simSteps, Ctx: ctx})
 		if err != nil {
-			res.Errors++
 			s.threadFree[th] = e.now
+			if errors.Is(err, cir.ErrStepLimit) {
+				return nil, &budget.ExceededError{
+					Resource: "sim-steps", Limit: int64(simSteps),
+					Stage: "simulate", NF: s.prog.Name, Partial: finish(),
+				}
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, &budget.CanceledError{
+					Stage: "simulate", NF: s.prog.Name, Err: cerr, Partial: finish(),
+				}
+			}
+			res.Errors++
 			continue
 		}
 		s.threadFree[th] = e.now
+		s.svcSum += e.now - start
+		s.svcCount++
 
 		done := e.now
 		if verdict == cir.VerdictPass && e.emitted {
@@ -378,27 +512,25 @@ func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
 			}
 		}
 
+		if s.pktFaulted {
+			s.report.FaultedPackets++
+		}
 		res.Packets = append(res.Packets, PacketResult{
 			ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
 			Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
 		})
 	}
-	for id, c := range s.caches {
-		res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
-	}
-	if s.fc != nil {
-		res.FlowCacheHitRate = s.fc.HitRate()
-	} else {
-		res.FlowCacheHitRate = math.NaN()
-	}
-	return res, nil
+	return finish(), nil
 }
 
 // hubServers is the switching parallelism of a hub: fabrics move several
 // packets at once, so a hub is a small server pool rather than one FIFO.
 const hubServers = 8
 
-func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) float64 {
+// hubVisit books the hub's earliest-free server. Under fault injection with
+// a queue cap, a wait longer than QueueCap service times means the queue is
+// full and the packet is dropped (reported, not booked).
+func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) (float64, bool) {
 	h := &s.nic.Hubs[hub]
 	servers := s.hubFree[hub]
 	if servers == nil {
@@ -412,11 +544,14 @@ func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) float64 {
 		}
 	}
 	start := math.Max(t, servers[best])
+	if f := s.faults; f != nil && f.QueueCap > 0 && start-t > float64(f.QueueCap)*h.ServiceCycles {
+		return t, true // queue overflow: drop without booking a server
+	}
 	bd.Queue += start - t
 	done := start + h.ServiceCycles
 	bd.Fixed += h.ServiceCycles
 	servers[best] = done
-	return done
+	return done, false
 }
 
 func classify(p *packet.Packet) string {
@@ -435,21 +570,28 @@ func classify(p *packet.Packet) string {
 }
 
 // memAccess charges one access from the general cores into a region at a
-// concrete address, consulting the region's cache if it has one.
+// concrete address, consulting the region's cache if it has one. An injected
+// soft fault (per-region rate) retries the access once, doubling its cost.
 func (s *Sim) memAccess(region int, addr uint64, store bool, bd *Breakdown) float64 {
 	m := &s.nic.Mems[region]
-	if c := s.caches[region]; c != nil {
-		if c.access(addr) {
-			bd.Mem += m.CacheHitCycles
-			return m.CacheHitCycles
+	var base float64
+	if c := s.caches[region]; c != nil && c.access(addr) {
+		base = m.CacheHitCycles
+	} else {
+		var ok bool
+		base, ok = s.nic.AccessCycles(s.npuUnit, region, store)
+		if !ok {
+			// Region unreachable from the cores; price it as the raw latency.
+			base = m.LoadCycles
+			if store {
+				base = m.StoreCycles
+			}
 		}
 	}
-	base, ok := s.nic.AccessCycles(s.npuUnit, region, store)
-	if !ok {
-		// Region unreachable from the cores; price it as the raw latency.
-		base = m.LoadCycles
-		if store {
-			base = m.StoreCycles
+	if f := s.faults; f != nil {
+		if rate := f.MemFault[m.Name]; rate > 0 && s.frandFloat() < rate {
+			s.noteMemFault(m.Name)
+			base *= 2 // one retry
 		}
 	}
 	bd.Mem += base
@@ -458,14 +600,46 @@ func (s *Sim) memAccess(region int, addr uint64, store bool, bd *Breakdown) floa
 
 // accelVisit models an accelerator visit with head-of-line blocking: the
 // calling thread stalls until one of the unit's servers (its Threads) is
-// free and serves this request.
-func (s *Sim) accelVisit(unit int, bytes int, now float64, bd *Breakdown) float64 {
+// free and serves this request. Under fault injection, degradation
+// multiplies the service time and a queue cap overflows the request to the
+// caller's software path (ok = false, nothing booked).
+func (s *Sim) accelVisit(unit int, bytes int, now float64, bd *Breakdown) (float64, bool) {
 	u := &s.nic.Units[unit]
 	svc := u.FixedCycles + u.PerByteCycles*float64(bytes)
+	if f := s.faults; f != nil {
+		if mult := f.Degrade[u.AccelClass]; mult > 1 {
+			s.noteDegrade(u.AccelClass, svc*(mult-1))
+			svc *= mult
+		}
+		if f.QueueCap > 0 && svc > 0 {
+			if wait := s.peekWait(unit, now); wait > float64(f.QueueCap)*svc {
+				return now, false
+			}
+		}
+	}
 	start := s.claimServer(unit, now, svc)
 	bd.Queue += start - now
 	bd.Accel += svc
-	return start + svc
+	return start + svc, true
+}
+
+// peekWait returns the wait a request arriving now would incur at the unit,
+// without booking anything.
+func (s *Sim) peekWait(unit int, now float64) float64 {
+	servers, ok := s.unitFree[unit]
+	if !ok || len(servers) == 0 {
+		return 0
+	}
+	best := servers[0]
+	for _, v := range servers[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	if best <= now {
+		return 0
+	}
+	return best - now
 }
 
 // engineVisit is accelVisit for fixed-function engines (parser, egress),

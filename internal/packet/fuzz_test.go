@@ -1,0 +1,38 @@
+package packet
+
+import "testing"
+
+// FuzzTraceDecode throws arbitrary frames at the decoder: it must never
+// panic, and a successfully decoded packet must yield a usable flow tuple
+// and a payload that aliases the input.
+func FuzzTraceDecode(f *testing.F) {
+	var b Builder
+	tcp := b.TCPv4(
+		Ethernet{Type: EtherTypeIPv4},
+		IPv4{Src: IPv4Addr{10, 0, 0, 1}, Dst: IPv4Addr{10, 0, 0, 2}, Protocol: ProtoTCP, TTL: 64},
+		TCP{SrcPort: 1234, DstPort: 80, Flags: FlagSYN},
+		[]byte("hello"),
+	)
+	f.Add(append([]byte(nil), tcp...))
+	b.Reset()
+	udp := b.UDPv4(
+		Ethernet{Type: EtherTypeIPv4},
+		IPv4{Src: IPv4Addr{192, 168, 0, 1}, Dst: IPv4Addr{192, 168, 0, 2}, Protocol: ProtoUDP, TTL: 64},
+		UDP{SrcPort: 53, DstPort: 53},
+		[]byte{0xde, 0xad},
+	)
+	f.Add(append([]byte(nil), udp...))
+	f.Add([]byte{})
+	f.Add(make([]byte, 13)) // one byte short of an Ethernet header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.Decode(data); err != nil {
+			return
+		}
+		p.Flow() // must not panic on any decoded packet
+		if len(p.Payload) > len(data) {
+			t.Fatalf("payload %d bytes exceeds frame %d", len(p.Payload), len(data))
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"strings"
 
+	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/mapper"
@@ -115,7 +116,7 @@ func (a *Analysis) String() string {
 // Cuts are evaluated concurrently on the shared worker pool; use
 // AnalyzeParallel to control the width. g is read, never modified.
 func Analyze(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe) (*Analysis, error) {
-	return AnalyzeParallel(g, nic, host, wl, pcie, 0)
+	return AnalyzeContext(context.Background(), g, nic, host, wl, pcie, 0)
 }
 
 // AnalyzeParallel is Analyze with an explicit worker count (values < 1
@@ -123,6 +124,13 @@ func Analyze(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe) 
 // independent evaluation against shared read-only cost models, and results
 // land at their cut index, so the analysis is identical at any width.
 func AnalyzeParallel(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe, parallel int) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), g, nic, host, wl, pcie, parallel)
+}
+
+// AnalyzeContext is AnalyzeParallel under a cancellable context: a cancelled
+// sweep stops promptly (the worker pool aborts on first error) and returns a
+// *budget.CanceledError wrapping ctx.Err().
+func AnalyzeContext(ctx context.Context, g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pcie PCIe, parallel int) (*Analysis, error) {
 	if err := nic.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,8 +146,11 @@ func AnalyzeParallel(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pci
 	hostCM := mapper.NewCostModel(host, wl)
 
 	an := &Analysis{NFName: g.Prog.Name}
-	cuts, err := runner.Map(context.Background(), parallel, len(order)+1,
-		func(_ context.Context, cut int) (Cut, error) {
+	cuts, err := runner.Map(ctx, parallel, len(order)+1,
+		func(cctx context.Context, cut int) (Cut, error) {
+			if err := cctx.Err(); err != nil {
+				return Cut{}, err
+			}
 			onNIC := map[int]bool{}
 			var nicNodes, hostNodes []int
 			for i, n := range order {
@@ -155,6 +166,9 @@ func AnalyzeParallel(g *cir.Graph, nic, host *lnic.LNIC, wl mapper.Workload, pci
 			return *c, nil
 		})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &budget.CanceledError{Stage: "partial", NF: g.Prog.Name, Err: cerr}
+		}
 		return nil, err
 	}
 	an.Cuts = cuts

@@ -1,0 +1,39 @@
+package pcap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzPcapReader feeds arbitrary bytes through the reader: it must never
+// panic and never hand back a record larger than the hard cap, no matter
+// what the headers claim.
+func FuzzPcapReader(f *testing.F) {
+	var seed bytes.Buffer
+	w, err := NewWriter(&seed, LinkTypeEthernet, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.WritePacket(time.Unix(1600000000, 0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	_ = w.WritePacket(time.Unix(1600000001, 0), nil)
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:30]) // truncated mid-record
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10_000; i++ {
+			rec, err := r.Next()
+			if err != nil {
+				return
+			}
+			if len(rec.Data) > MaxRecordBytes {
+				t.Fatalf("record %d is %d bytes, cap is %d", i, len(rec.Data), MaxRecordBytes)
+			}
+		}
+	})
+}

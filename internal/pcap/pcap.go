@@ -27,10 +27,19 @@ const LinkTypeEthernet LinkType = 1
 
 // Errors returned by the reader.
 var (
-	ErrBadMagic  = errors.New("pcap: bad magic number")
-	ErrTruncated = errors.New("pcap: truncated file")
-	ErrSnapLen   = errors.New("pcap: record exceeds snap length")
+	ErrBadMagic      = errors.New("pcap: bad magic number")
+	ErrTruncated     = errors.New("pcap: truncated file")
+	ErrSnapLen       = errors.New("pcap: record exceeds snap length")
+	ErrRecordTooLong = errors.New("pcap: record length exceeds hard cap")
 )
+
+// MaxRecordBytes is the hard upper bound on one record's captured length,
+// checked before any allocation and regardless of the file's SnapLen (a
+// hostile global header can claim SnapLen 0 or 4 GB). Real captures top out
+// at jumbo-frame sizes; the cap exists because incl_len is
+// attacker-controlled — a crafted header claiming a 4 GB record must produce
+// an error, not an allocation.
+const MaxRecordBytes = 1 << 18 // 256 KiB
 
 // Header is the pcap global file header.
 type Header struct {
@@ -108,6 +117,12 @@ func (rd *Reader) Next() (Record, error) {
 	frac := rd.order.Uint32(rd.scratch[4:])
 	incl := rd.order.Uint32(rd.scratch[8:])
 	orig := rd.order.Uint32(rd.scratch[12:])
+	// Validate before allocating: incl is attacker-controlled, and a zero
+	// SnapLen (seen in the wild from buggy writers) must not disable the
+	// length check entirely.
+	if incl > MaxRecordBytes {
+		return Record{}, fmt.Errorf("%w: incl_len %d > %d", ErrRecordTooLong, incl, MaxRecordBytes)
+	}
 	if rd.hdr.SnapLen != 0 && incl > rd.hdr.SnapLen {
 		return Record{}, ErrSnapLen
 	}

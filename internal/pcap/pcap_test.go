@@ -3,6 +3,7 @@ package pcap
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -187,5 +188,57 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHostileRecordLength crafts a header whose incl_len claims ~4 GB: the
+// reader must refuse before allocating, regardless of the declared SnapLen.
+func TestHostileRecordLength(t *testing.T) {
+	for _, snapLen := range []uint32{0, 0xFFFFFFFF} {
+		var buf bytes.Buffer
+		hdr := make([]byte, 24)
+		binary.LittleEndian.PutUint32(hdr[0:], MagicMicroseconds)
+		binary.LittleEndian.PutUint16(hdr[4:], 2)
+		binary.LittleEndian.PutUint16(hdr[6:], 4)
+		binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+		binary.LittleEndian.PutUint32(hdr[20:], uint32(LinkTypeEthernet))
+		buf.Write(hdr)
+		rec := make([]byte, 16)
+		binary.LittleEndian.PutUint32(rec[8:], 0xFFFFFFF0) // incl_len ≈ 4 GB
+		binary.LittleEndian.PutUint32(rec[12:], 0xFFFFFFF0)
+		buf.Write(rec)
+
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("snaplen %#x: header rejected: %v", snapLen, err)
+		}
+		_, err = r.Next()
+		if !errors.Is(err, ErrRecordTooLong) {
+			t.Errorf("snaplen %#x: Next() = %v, want ErrRecordTooLong", snapLen, err)
+		}
+	}
+}
+
+// TestRecordAtCap confirms the hard cap is inclusive: a record of exactly
+// MaxRecordBytes still reads.
+func TestRecordAtCap(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, MaxRecordBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(0, 0), make([]byte, MaxRecordBytes)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != MaxRecordBytes {
+		t.Errorf("len = %d, want %d", len(rec.Data), MaxRecordBytes)
 	}
 }

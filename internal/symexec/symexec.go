@@ -15,10 +15,13 @@
 package symexec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/mapper"
 )
@@ -81,6 +84,19 @@ func (c *Class) Name() string { return c.Attrs.String() }
 // Enumerate runs the program across the attribute lattice and returns the
 // distinct behaviour classes, ordered deterministically.
 func Enumerate(prog *cir.Program) ([]Class, error) {
+	return EnumerateContext(context.Background(), prog)
+}
+
+// EnumerateContext is Enumerate under a cancellable, budgeted context. The
+// per-class interpreter step cap and the lattice-point cap come from the
+// budget.Limits carried on ctx (safe defaults otherwise). On cancellation it
+// returns a *budget.CanceledError wrapping ctx.Err(); on a tripped budget a
+// *budget.ExceededError whose Partial field holds the classes enumerated so
+// far — an unbounded NF loop stops the enumeration promptly instead of
+// wedging the caller.
+func EnumerateContext(ctx context.Context, prog *cir.Program) ([]Class, error) {
+	lim := budget.From(ctx)
+	maxSteps := int(lim.SymExecStepLimit())
 	protos := []string{"tcp", "udp", "icmp"}
 	bools := []bool{false, true}
 	payload := 256
@@ -91,6 +107,11 @@ func Enumerate(prog *cir.Program) ([]Class, error) {
 	}
 	seen := map[key]int{}
 	var out []Class
+	paths := int64(0)
+	finish := func(classes []Class) []Class {
+		sort.Slice(classes, func(i, j int) bool { return classes[i].Name() < classes[j].Name() })
+		return classes
+	}
 	for _, proto := range protos {
 		for _, syn := range bools {
 			if syn && proto != "tcp" {
@@ -99,10 +120,35 @@ func Enumerate(prog *cir.Program) ([]Class, error) {
 			for _, flowSeen := range bools {
 				for _, dpi := range bools {
 					for _, heavy := range bools {
+						if err := ctx.Err(); err != nil {
+							return nil, &budget.CanceledError{
+								Stage: "enumerate", NF: prog.Name, Err: err,
+								Partial: finish(out),
+							}
+						}
+						paths++
+						if lim.SymExecPaths > 0 && paths > lim.SymExecPaths {
+							return nil, &budget.ExceededError{
+								Resource: "symexec-paths", Limit: lim.SymExecPaths,
+								Stage: "enumerate", NF: prog.Name, Partial: finish(out),
+							}
+						}
 						a := Attrs{Proto: proto, SYN: syn, FlowSeen: flowSeen,
 							DPIMatch: dpi, Heavy: heavy, PayloadLen: payload}
-						cl, err := runClass(prog, a)
+						cl, err := runClass(ctx, prog, a, maxSteps)
 						if err != nil {
+							if errors.Is(err, cir.ErrStepLimit) {
+								return nil, &budget.ExceededError{
+									Resource: "symexec-steps", Limit: int64(maxSteps),
+									Stage: "enumerate", NF: prog.Name, Partial: finish(out),
+								}
+							}
+							if cerr := ctx.Err(); cerr != nil {
+								return nil, &budget.CanceledError{
+									Stage: "enumerate", NF: prog.Name, Err: cerr,
+									Partial: finish(out),
+								}
+							}
 							return nil, fmt.Errorf("symexec: attrs %s: %w", a, err)
 						}
 						k := key{cl.Verdict, traceKey(cl.BlockTrace)}
@@ -124,8 +170,7 @@ func Enumerate(prog *cir.Program) ([]Class, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
-	return out, nil
+	return finish(out), nil
 }
 
 func flagCount(a Attrs) int {
@@ -147,7 +192,7 @@ func traceKey(blocks []int) string {
 }
 
 // runClass executes the program once under the attribute valuation.
-func runClass(prog *cir.Program, a Attrs) (*Class, error) {
+func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int) (*Class, error) {
 	cl := &Class{
 		Attrs:      a,
 		BlockCount: map[int]int{},
@@ -162,7 +207,8 @@ func runClass(prog *cir.Program, a Attrs) (*Class, error) {
 			}
 			cl.BlockCount[b]++
 		},
-		MaxSteps: 500_000,
+		MaxSteps: maxSteps,
+		Ctx:      ctx,
 	}
 	env.onVCall = func(name string) { cl.VCalls[name]++ }
 	v, err := cir.NewInterp(prog).Run(env, hooks)

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"clara/internal/budget"
 	"clara/internal/packet"
 	"clara/internal/pcap"
 )
@@ -110,6 +112,20 @@ type Stats struct {
 
 // Generate synthesizes a trace from the profile.
 func Generate(p Profile) (*Trace, error) {
+	return GenerateContext(context.Background(), p)
+}
+
+// GenerateContext is Generate under a cancellable, budgeted context: the
+// context's event budget caps the packet count (a hostile "packets=1e9"
+// profile trips it instead of allocating gigabytes), and cancellation aborts
+// synthesis mid-trace with the packets generated so far attached.
+func GenerateContext(ctx context.Context, p Profile) (*Trace, error) {
+	if lim := budget.From(ctx); lim.SimEvents > 0 && int64(p.Packets) > lim.SimEvents {
+		return nil, &budget.ExceededError{
+			Resource: "trace-packets", Limit: lim.SimEvents,
+			Stage: "generate", NF: p.Name,
+		}
+	}
 	if p.Packets <= 0 {
 		return nil, fmt.Errorf("workload: profile %q has no packets", p.Name)
 	}
@@ -171,6 +187,13 @@ func Generate(p Profile) (*Trace, error) {
 	now := 0.0
 	payload := make([]byte, 0, p.PayloadBytes+p.PayloadJitter)
 	for i := 0; i < p.Packets; i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, &budget.CanceledError{
+					Stage: "generate", NF: p.Name, Err: err, Partial: tr,
+				}
+			}
+		}
 		var fi int
 		if zipf != nil {
 			fi = int(zipf.Uint64())
@@ -286,14 +309,37 @@ func (t *Trace) WritePcap(w io.Writer) error {
 
 // ReadPcap loads a trace from pcap data.
 func ReadPcap(r io.Reader, name string) (*Trace, error) {
+	return ReadPcapContext(context.Background(), r, name)
+}
+
+// ReadPcapContext is ReadPcap under a cancellable, budgeted context: the
+// context's event budget caps how many records are ingested (pcap files
+// carry no record count up front, so an unbounded file otherwise streams
+// into memory), and both budget and cancellation errors carry the trace
+// read so far.
+func ReadPcapContext(ctx context.Context, r io.Reader, name string) (*Trace, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
+	lim := budget.From(ctx)
 	tr := &Trace{Name: name}
 	var t0 time.Time
 	first := true
 	for {
+		if len(tr.Packets)&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, &budget.CanceledError{
+					Stage: "ingest", NF: name, Err: err, Partial: tr,
+				}
+			}
+		}
+		if lim.SimEvents > 0 && int64(len(tr.Packets)) >= lim.SimEvents {
+			return nil, &budget.ExceededError{
+				Resource: "trace-packets", Limit: lim.SimEvents,
+				Stage: "ingest", NF: name, Partial: tr,
+			}
+		}
 		rec, err := pr.Next()
 		if err == io.EOF {
 			break
