@@ -1,0 +1,56 @@
+package clara
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchBaseline mirrors testdata/bench_baseline.json.
+type benchBaseline struct {
+	Benchmark     string  `json:"benchmark"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	MaxRegressPct float64 `json:"max_regress_pct"`
+	Note          string  `json:"note"`
+}
+
+// TestBenchGuard fails when the steady-state Predict path — the 19µs hot
+// loop the observability layer must not tax when disabled — regresses more
+// than the checked-in threshold against testdata/bench_baseline.json.
+//
+// It reruns BenchmarkPredict via testing.Benchmark, so it only runs when
+// BENCH_GUARD=1 is set (CI's benchmark-guard job); local `go test ./...`
+// skips it to stay fast and to avoid flaking on loaded machines.
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to enforce the Predict latency baseline")
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "bench_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Benchmark != "BenchmarkPredict" || base.NsPerOp <= 0 || base.MaxRegressPct <= 0 {
+		t.Fatalf("malformed baseline: %+v", base)
+	}
+	// Best of three: guards against a background-noise spike failing CI while
+	// still catching genuine slowdowns.
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(BenchmarkPredict)
+		ns := float64(r.NsPerOp())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	limit := base.NsPerOp * (1 + base.MaxRegressPct/100)
+	t.Logf("BenchmarkPredict: best %.0f ns/op (baseline %.0f, limit %.0f)", best, base.NsPerOp, limit)
+	if best > limit {
+		t.Errorf("Predict regressed: %.0f ns/op exceeds baseline %.0f +%g%% (limit %.0f)",
+			best, base.NsPerOp, base.MaxRegressPct, limit)
+	}
+}

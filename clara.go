@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 
 	"clara/internal/budget"
@@ -42,6 +43,7 @@ import (
 	"clara/internal/microbench"
 	"clara/internal/nfc"
 	"clara/internal/nicsim"
+	"clara/internal/obs"
 	"clara/internal/partial"
 	"clara/internal/predict"
 	"clara/internal/runner"
@@ -122,6 +124,38 @@ func ParseBudget(spec string) (Budget, error) { return budget.Parse(spec) }
 // "outage=crypto,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7"
 // (the clara-sim -faults flag syntax). An empty spec yields nil (no faults).
 func ParseFaults(spec string) (*Faults, error) { return nicsim.ParseFaults(spec) }
+
+// Observability types. Attach a *Metrics to the analysis context with
+// WithMetrics and every ...Context method downstream records per-stage wall
+// times (clara_stage_nanos{stage=...}), enumeration/annotation cache hits
+// and misses, symbolic-execution step and path counts, simulator event
+// counts and budget-consumption gauges into it. A context without a registry
+// pays only a nil check per stage — the disabled path is allocation-free.
+type (
+	// Metrics is a registry of named counters, gauges and log-bucket
+	// histograms with Prometheus text exposition (WritePrometheus).
+	Metrics = obs.Metrics
+	// BudgetUsage accumulates consumed analysis resources; attach with
+	// WithBudgetUsage and snapshot against the limits afterwards.
+	BudgetUsage = budget.Usage
+	// Timeline is a simulator packet-hop trace (enable via
+	// MeasureOptions.Timeline); exportable as JSON or Chrome trace_event.
+	Timeline = nicsim.Timeline
+)
+
+// NewMetrics returns an empty, enabled metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// WithMetrics returns a context carrying the registry.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context { return obs.With(ctx, m) }
+
+// MetricsFrom extracts the registry carried by ctx (nil = disabled).
+func MetricsFrom(ctx context.Context) *Metrics { return obs.From(ctx) }
+
+// WithBudgetUsage returns a context carrying the consumption accumulator.
+func WithBudgetUsage(ctx context.Context, u *BudgetUsage) context.Context {
+	return budget.WithUsage(ctx, u)
+}
 
 // NF is a compiled, analyzed network function.
 //
@@ -253,11 +287,15 @@ func retryable(err error) bool {
 // read-only. Enumeration runs inside a panic-isolation boundary; canceled or
 // budget-exceeded runs are reported but not memoized.
 func (nf *NF) enumerate(ctx context.Context) ([]symexec.Class, error) {
+	m := obs.From(ctx)
 	nf.classMu.Lock()
 	defer nf.classMu.Unlock()
 	if nf.classDone {
+		m.Counter("clara_enum_cache_hits_total").Inc()
 		return nf.classes, nf.classErr
 	}
+	m.Counter("clara_enum_cache_misses_total").Inc()
+	defer m.StageTimer("enumerate")()
 	classes, err := budget.Guard1("enumerate", nf.Program.Name, func() ([]symexec.Class, error) {
 		return symexec.EnumerateContext(ctx, nf.Program)
 	})
@@ -278,12 +316,16 @@ func (nf *NF) annotatedGraph(ctx context.Context, wl Workload) (*cir.Graph, erro
 	if err != nil {
 		return nil, err
 	}
+	m := obs.From(ctx)
 	w := symexec.WeightsFor(wl)
 	nf.annMu.Lock()
 	defer nf.annMu.Unlock()
 	if g, ok := nf.annotated[w]; ok {
+		m.Counter("clara_annot_cache_hits_total").Inc()
 		return g, nil
 	}
+	m.Counter("clara_annot_cache_misses_total").Inc()
+	defer m.StageTimer("annotate")()
 	g := symexec.AnnotatedGraph(nf.Graph, classes, w)
 	if len(nf.annotated) >= annotatedCacheCap {
 		nf.annotated = nil
@@ -313,6 +355,7 @@ func (nf *NF) MapContext(ctx context.Context, t *Target, wl Workload, h Hints) (
 	if err := budget.Canceled(ctx, "map", nf.Program.Name); err != nil {
 		return nil, err
 	}
+	defer obs.From(ctx).StageTimer("map")()
 	return budget.Guard1("map", nf.Program.Name, func() (*Mapping, error) {
 		return mapper.Map(g, t, wl, h)
 	})
@@ -333,6 +376,7 @@ func (nf *NF) MapGreedyContext(ctx context.Context, t *Target, wl Workload, h Hi
 	if err := budget.Canceled(ctx, "map", nf.Program.Name); err != nil {
 		return nil, err
 	}
+	defer obs.From(ctx).StageTimer("map")()
 	return budget.Guard1("map", nf.Program.Name, func() (*Mapping, error) {
 		return mapper.Greedy(g, t, wl, h)
 	})
@@ -354,6 +398,7 @@ func (nf *NF) PredictMappedContext(ctx context.Context, t *Target, m *Mapping, w
 	if err := budget.Canceled(ctx, "predict", nf.Program.Name); err != nil {
 		return nil, err
 	}
+	defer obs.From(ctx).StageTimer("predict")()
 	return budget.Guard1("predict", nf.Program.Name, func() (*Prediction, error) {
 		return predict.PredictWithClasses(nf.Program, classes, m, t, wl, opts)
 	})
@@ -408,10 +453,28 @@ func (nf *NF) Measure(t *Target, m *Mapping, tr *Trace, seed int64) (*Measuremen
 // SimSteps/SimEvents budgets return a typed error whose Partial field holds
 // the Measurement covering the packets that did run.
 func (nf *NF) MeasureContext(ctx context.Context, t *Target, m *Mapping, tr *Trace, seed int64, faults *Faults) (*Measurement, error) {
+	return nf.MeasureOptionsContext(ctx, t, m, tr, seed, MeasureOptions{Faults: faults})
+}
+
+// MeasureOptions tunes one simulator run beyond the mapping itself.
+type MeasureOptions struct {
+	// Faults injects hardware faults (nil = healthy run).
+	Faults *Faults
+	// Timeline records every packet's hops (ingress, dispatch, NPU,
+	// accelerators, memory, egress) with cycle timestamps and queue depths
+	// into Measurement.Timeline.
+	Timeline bool
+}
+
+// MeasureOptionsContext is MeasureContext with per-run options: fault
+// injection and per-packet timeline tracing.
+func (nf *NF) MeasureOptionsContext(ctx context.Context, t *Target, m *Mapping, tr *Trace, seed int64, opts MeasureOptions) (*Measurement, error) {
+	defer obs.From(ctx).StageTimer("simulate")()
 	return budget.Guard1("simulate", nf.Program.Name, func() (*Measurement, error) {
 		sim, err := nicsim.NewContext(ctx, nicsim.Config{
 			NIC: t, Prog: nf.Program, Place: PlacementOf(m),
-			Preload: nf.Preload, Seed: seed, Faults: faults,
+			Preload: nf.Preload, Seed: seed, Faults: opts.Faults,
+			Timeline: opts.Timeline,
 		})
 		if err != nil {
 			return nil, err
@@ -434,6 +497,7 @@ func MicrobenchParallel(t *Target, parallel int) (*BenchReport, error) {
 // MicrobenchContext is MicrobenchParallel bounded by ctx: cancellation stops
 // in-flight probes promptly with a typed CanceledError.
 func MicrobenchContext(ctx context.Context, t *Target, parallel int) (*BenchReport, error) {
+	defer obs.From(ctx).StageTimer("microbench")()
 	return budget.Guard1("microbench", t.Name, func() (*BenchReport, error) {
 		return microbench.RunContext(ctx, t, parallel)
 	})
@@ -469,6 +533,7 @@ func AnalyzePartialContext(ctx context.Context, nf *NF, t *Target, wl Workload, 
 	if err != nil {
 		return nil, err
 	}
+	defer obs.From(ctx).StageTimer("partial")()
 	return budget.Guard1("partial", nf.Program.Name, func() (*PartialAnalysis, error) {
 		return partial.AnalyzeContext(ctx, g, t, lnic.HostX86(), wl, pcie, parallel)
 	})
@@ -505,6 +570,7 @@ func AdviseParallel(nf *NF, wl Workload, parallel int) ([]Advice, error) {
 // budget aborts the whole sweep with a typed error, while a per-target
 // infeasibility remains data in the ranking.
 func AdviseContext(ctx context.Context, nf *NF, wl Workload, parallel int) ([]Advice, error) {
+	defer obs.From(ctx).StageTimer("advise")()
 	// Warm the shared memoizations once so the workers don't duplicate the
 	// enumeration and annotation work.
 	if _, err := nf.annotatedGraph(ctx, wl); err != nil {
@@ -543,4 +609,19 @@ func AdviseContext(ctx context.Context, nf *NF, wl Workload, parallel int) ([]Ad
 		return out[i].MeanNanos < out[j].MeanNanos
 	})
 	return out, nil
+}
+
+// FormatAdvice renders an Advise ranking exactly as cmd/clara prints it —
+// shared so golden tests pin the CLI output without shelling out.
+func FormatAdvice(nfName string, advice []Advice) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target ranking for %s:\n", nfName)
+	for _, a := range advice {
+		if a.Feasible {
+			fmt.Fprintf(&b, "  %-16s %10.0f ns/pkt  %12.0f pps\n", a.Target, a.MeanNanos, a.Throughput)
+		} else {
+			fmt.Fprintf(&b, "  %-16s infeasible: %s\n", a.Target, a.Reason)
+		}
+	}
+	return b.String()
 }

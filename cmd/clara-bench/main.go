@@ -23,6 +23,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for the probe suite (default GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
+	metricsSpec := flag.String("metrics", "", cliutil.MetricsFlagDoc)
 	flag.Parse()
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
@@ -30,6 +31,15 @@ func main() {
 		fatal(err)
 	}
 	defer cancel()
+	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := flushMetrics(); err != nil {
+			fatal(err)
+		}
+	}()
 	t, err := clara.NewTarget(*target)
 	if err != nil {
 		fatal(err)

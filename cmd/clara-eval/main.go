@@ -13,7 +13,9 @@
 //	clara-eval -experiment all
 //
 // -packets scales trace length (the paper used 1M packets; the default of
-// 4000 reproduces every shape in seconds).
+// 4000 reproduces every shape in seconds). Rendering lives in internal/eval
+// (Render/RenderAll) so the golden-output tests cover exactly what this
+// command prints.
 package main
 
 import (
@@ -21,7 +23,6 @@ import (
 	"fmt"
 	"os"
 
-	"clara/internal/cir"
 	"clara/internal/cliutil"
 	"clara/internal/eval"
 )
@@ -33,6 +34,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for experiment grids (default GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
+	metricsSpec := flag.String("metrics", "", cliutil.MetricsFlagDoc)
 	flag.Parse()
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
@@ -40,157 +42,26 @@ func main() {
 		fatal(err)
 	}
 	defer cancel()
-	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel, Ctx: ctx}
-	runs := map[string]func(eval.Config) error{
-		"fig1":         runFig1,
-		"fig3a":        runFig3a,
-		"fig3b":        runFig3b,
-		"fig3c":        runFig3c,
-		"accuracy":     runAccuracy,
-		"cksum":        runCksum,
-		"classes":      runClasses,
-		"interference": runInterference,
-		"ablation":     runAblation,
-		"partial":      runPartial,
-	}
-	order := []string{"fig1", "fig3a", "fig3b", "fig3c", "accuracy", "cksum", "classes", "interference", "ablation", "partial"}
-	if *experiment == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
-			if err := runs[name](cfg); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
-		}
-		return
-	}
-	fn, ok := runs[*experiment]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clara-eval: unknown experiment %q (have %v and all)\n", *experiment, order)
-		os.Exit(2)
-	}
-	if err := fn(cfg); err != nil {
+	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
+	if err != nil {
 		fatal(err)
 	}
-}
-
-func runFig1(cfg eval.Config) error {
-	rows, err := eval.Fig1(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(eval.FormatFig1(rows))
-	return nil
-}
-
-func runFig3a(cfg eval.Config) error {
-	points, err := eval.Fig3a(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(eval.FormatSweep("Figure 3a: LPM latency vs table entries (predicted vs actual)", "entries", points, true))
-	return nil
-}
-
-func runFig3b(cfg eval.Config) error {
-	points, err := eval.Fig3b(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(eval.FormatSweep("Figure 3b: VNF chain latency vs payload size", "payload", points, true))
-	return nil
-}
-
-func runFig3c(cfg eval.Config) error {
-	points, err := eval.Fig3c(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(eval.FormatSweep("Figure 3c: NAT latency vs payload size", "payload", points, false))
-	return nil
-}
-
-func runAccuracy(cfg eval.Config) error {
-	rows, err := eval.Accuracy(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(eval.FormatAccuracy(rows))
-	return nil
-}
-
-func runCksum(cfg eval.Config) error {
-	gap, err := eval.Cksum(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Checksum placement (E7, paper §2.1; 1000B packets, end-to-end NAT):\n")
-	fmt.Printf("  accelerator: %8.0f cycles/pkt\n", gap.AccelCycles)
-	fmt.Printf("  software:    %8.0f cycles/pkt\n", gap.SWCycles)
-	fmt.Printf("  penalty:     %8.0f extra cycles (paper: ~1700)\n", gap.ExtraCycles)
-	return nil
-}
-
-func runClasses(cfg eval.Config) error {
-	rows, err := eval.Classes(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Per-class profile (E8, paper §3.5; stateful firewall):\n")
-	for _, r := range rows {
-		verdict := "pass"
-		if r.Verdict == cir.VerdictDrop {
-			verdict = "drop"
+	defer func() {
+		if err := flushMetrics(); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("  %-24s p=%.3f  %8.0f cycles  %s\n", r.Class, r.Prob, r.Predicted, verdict)
+	}()
+	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel, Ctx: ctx}
+	var out string
+	if *experiment == "all" {
+		out, err = eval.RenderAll(cfg)
+	} else {
+		out, err = eval.Render(*experiment, cfg)
 	}
-	return nil
-}
-
-func runInterference(cfg eval.Config) error {
-	rows, err := eval.Interference(cfg)
 	if err != nil {
-		return err
+		fatal(err)
 	}
-	fmt.Printf("Interference via LNIC slicing (E9, paper §3.5):\n")
-	fmt.Printf("  %-10s %14s %14s %14s %14s\n", "NF", "solo cyc", "shared cyc", "solo pps", "shared pps")
-	for _, r := range rows {
-		fmt.Printf("  %-10s %14.0f %14.0f %14.0f %14.0f\n", r.NF, r.SoloCycles, r.SharedCycles, r.SoloThroughput, r.SharedPPS)
-	}
-	return nil
-}
-
-func runAblation(cfg eval.Config) error {
-	rows, err := eval.ILPvsGreedy(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Ablation: ILP mapping vs greedy first-fit (expected cycles/pkt):\n")
-	for _, r := range rows {
-		speedup := r.GreedyCycles / r.ILPCycles
-		fmt.Printf("  %-10s ILP %10.0f   greedy %10.0f   (%.2fx)\n", r.NF, r.ILPCycles, r.GreedyCycles, speedup)
-	}
-	q, err := eval.QueueAware(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Ablation: queue-aware prediction at %.0f pps:\n", q.RatePPS)
-	fmt.Printf("  actual %0.f, with queueing %.0f, queue-free %.0f cycles\n", q.Actual, q.WithQueueing, q.QueueFreeOnly)
-	return nil
-}
-
-func runPartial(cfg eval.Config) error {
-	rows, err := eval.Partial(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Partial offloading (§6 extension; NIC-prefix cut sweep vs host-x86 over PCIe):\n")
-	fmt.Printf("  %-10s %9s %12s %12s %12s %10s\n", "NF", "best cut", "full-NIC ns", "full-host ns", "best ns", "energy cut")
-	for _, r := range rows {
-		fmt.Printf("  %-10s %5d/%-3d %12.0f %12.0f %12.0f %10d\n",
-			r.NF, r.BestCut, r.TotalCuts, r.FullNICNanos, r.FullHostNanos, r.BestNanos, r.EnergyBestCut)
-	}
-	return nil
+	fmt.Print(out)
 }
 
 func fatal(err error) {

@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux's profiling handlers
 	"os"
 	"sort"
 	"strings"
@@ -33,6 +35,9 @@ func main() {
 		parallelN   = flag.Int("parallel", 0, "worker-pool width for multi-target runs (default GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
+		metricsSpec = flag.String("metrics", "", cliutil.MetricsFlagDoc)
+		timelineOut = flag.String("timeline", "", "record the first target's per-packet timeline and write it here as Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running, e.g. localhost:6060")
 		faultsSpec  = flag.String("faults", "", "fault injection, e.g. outage=crypto,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7")
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
@@ -51,6 +56,22 @@ func main() {
 		fatal(err)
 	}
 	defer cancel()
+	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := flushMetrics(); err != nil {
+			fatal(err)
+		}
+	}()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "clara-sim: pprof:", err)
+			}
+		}()
+	}
 	faults, err := clara.ParseFaults(*faultsSpec)
 	if err != nil {
 		fatal(err)
@@ -97,32 +118,56 @@ func main() {
 	hints := clara.Hints{DisableFlowCache: *noFlowCache, DisableChecksumAccel: *noCksum}
 	// Targets share the NF and the trace; both are safe to read concurrently
 	// (the analysis pipeline is re-entrant and the simulator never writes the
-	// trace), so each worker only needs its own mapping + simulator run.
+	// trace), so each worker only needs its own mapping + simulator run. The
+	// timeline is recorded on the first target only: it is a per-run drill-down
+	// view, and one file holds one run.
 	reports, err := runner.Map(ctx, *parallelN, len(targets),
-		func(cctx context.Context, i int) (string, error) {
-			return simulate(cctx, nf, targets[i], wl, tr, hints, *seed, faults)
+		func(cctx context.Context, i int) (simOut, error) {
+			return simulate(cctx, nf, targets[i], wl, tr, hints, *seed, faults,
+				*timelineOut != "" && i == 0)
 		})
 	if err != nil {
 		fatal(err)
 	}
 	for _, rep := range reports {
-		fmt.Print(rep)
+		fmt.Print(rep.report)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reports[0].timeline.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote timeline for %s to %s (%d hops)\n",
+			targets[0], *timelineOut, len(reports[0].timeline.Hops))
 	}
 }
 
+// simOut is one target's rendered report plus its optional timeline.
+type simOut struct {
+	report   string
+	timeline *clara.Timeline
+}
+
 // simulate maps and runs the NF on one target, returning the rendered report.
-func simulate(ctx context.Context, nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64, faults *clara.Faults) (string, error) {
+func simulate(ctx context.Context, nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64, faults *clara.Faults, timeline bool) (simOut, error) {
 	t, err := clara.NewTarget(target)
 	if err != nil {
-		return "", err
+		return simOut{}, err
 	}
 	m, err := nf.MapContext(ctx, t, wl, hints)
 	if err != nil {
-		return "", err
+		return simOut{}, err
 	}
-	res, err := nf.MeasureContext(ctx, t, m, tr, seed, faults)
+	res, err := nf.MeasureOptionsContext(ctx, t, m, tr, seed, clara.MeasureOptions{Faults: faults, Timeline: timeline})
 	if err != nil {
-		return "", err
+		return simOut{}, err
 	}
 
 	var b strings.Builder
@@ -162,7 +207,7 @@ func simulate(ctx context.Context, nf *clara.NF, target string, wl clara.Workloa
 	if res.Faults.Any() {
 		fmt.Fprintf(&b, "  faults:   %s\n", res.Faults.String())
 	}
-	return b.String(), nil
+	return simOut{report: b.String(), timeline: res.Timeline}, nil
 }
 
 type preloadFlags struct{ m map[string]int }

@@ -23,6 +23,7 @@ func main() {
 		statsPath   = flag.String("stats", "", "print statistics of an existing pcap instead")
 		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
+		metricsSpec = flag.String("metrics", "", cliutil.MetricsFlagDoc)
 	)
 	flag.Parse()
 
@@ -31,6 +32,15 @@ func main() {
 		fatal(err)
 	}
 	defer cancel()
+	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := flushMetrics(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *statsPath != "" {
 		f, err := os.Open(*statsPath)

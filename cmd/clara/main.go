@@ -36,6 +36,7 @@ func main() {
 		parallelN   = flag.Int("parallel", 0, "worker-pool width for -advise/-partial (default GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 		budgetSpec  = flag.String("budget", "", cliutil.BudgetFlagDoc)
+		metricsSpec = flag.String("metrics", "", cliutil.MetricsFlagDoc)
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		noCrypto    = flag.Bool("no-crypto-accel", false, "hint: crypto in software")
@@ -55,6 +56,15 @@ func main() {
 		fatal(err)
 	}
 	defer cancel()
+	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := flushMetrics(); err != nil {
+			fatal(err)
+		}
+	}()
 	nf, err := clara.LoadNF(*nfPath)
 	if err != nil {
 		fatal(err)
@@ -113,14 +123,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("target ranking for %s:\n", nf.Name())
-		for _, a := range advice {
-			if a.Feasible {
-				fmt.Printf("  %-16s %10.0f ns/pkt  %12.0f pps\n", a.Target, a.MeanNanos, a.Throughput)
-			} else {
-				fmt.Printf("  %-16s infeasible: %s\n", a.Target, a.Reason)
-			}
-		}
+		fmt.Print(clara.FormatAdvice(nf.Name(), advice))
 		return
 	}
 

@@ -26,6 +26,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Limits bounds the resources one analysis may consume. The zero value
@@ -100,6 +101,101 @@ func From(ctx context.Context) Limits {
 		return l
 	}
 	return Limits{}
+}
+
+// Usage accumulates the resources an analysis actually consumed — the
+// observable counterpart of Limits. Attach one to the context with WithUsage
+// and the budget-aware stages (symbolic enumeration, simulation, trace
+// generation and ingestion) add what they spend; Snapshot then reports
+// consumption next to the limits, which is what the CLIs export as
+// clara_budget_* gauges. All methods are nil-safe, so instrumented stages
+// call through unconditionally; a bare context costs one nil check.
+type Usage struct {
+	symExecSteps atomic.Int64
+	symExecPaths atomic.Int64
+	simSteps     atomic.Int64
+	simEvents    atomic.Int64
+	tracePackets atomic.Int64
+}
+
+// UsageSnapshot is a point-in-time copy of a Usage, with the resolved limit
+// next to each consumed dimension (0 limit = unlimited).
+type UsageSnapshot struct {
+	SymExecSteps, SymExecStepLimit int64
+	SymExecPaths, SymExecPathLimit int64
+	SimSteps, SimStepLimit         int64
+	SimEvents, SimEventLimit       int64
+	TracePackets                   int64
+}
+
+type usageKey struct{}
+
+// WithUsage returns a context carrying u; budget-aware stages downstream
+// accumulate consumption into it.
+func WithUsage(ctx context.Context, u *Usage) context.Context {
+	return context.WithValue(ctx, usageKey{}, u)
+}
+
+// UsageFrom extracts the usage accumulator carried by ctx (nil when absent;
+// the nil accumulator's methods are no-ops).
+func UsageFrom(ctx context.Context) *Usage {
+	u, _ := ctx.Value(usageKey{}).(*Usage)
+	return u
+}
+
+// AddSymExecSteps records interpreter steps spent enumerating behaviours.
+func (u *Usage) AddSymExecSteps(n int64) {
+	if u != nil {
+		u.symExecSteps.Add(n)
+	}
+}
+
+// AddSymExecPaths records attribute-lattice points explored.
+func (u *Usage) AddSymExecPaths(n int64) {
+	if u != nil {
+		u.symExecPaths.Add(n)
+	}
+}
+
+// AddSimSteps records interpreter steps spent simulating packets.
+func (u *Usage) AddSimSteps(n int64) {
+	if u != nil {
+		u.simSteps.Add(n)
+	}
+}
+
+// AddSimEvents records packets simulated.
+func (u *Usage) AddSimEvents(n int64) {
+	if u != nil {
+		u.simEvents.Add(n)
+	}
+}
+
+// AddTracePackets records packets generated or ingested from a trace.
+func (u *Usage) AddTracePackets(n int64) {
+	if u != nil {
+		u.tracePackets.Add(n)
+	}
+}
+
+// Snapshot pairs the accumulated consumption with the limits' resolved caps.
+// Safe on a nil Usage (all-zero consumption).
+func (u *Usage) Snapshot(l Limits) UsageSnapshot {
+	s := UsageSnapshot{
+		SymExecStepLimit: l.SymExecStepLimit(),
+		SymExecPathLimit: l.SymExecPaths,
+		SimStepLimit:     l.SimStepLimit(),
+		SimEventLimit:    l.SimEvents,
+	}
+	if u == nil {
+		return s
+	}
+	s.SymExecSteps = u.symExecSteps.Load()
+	s.SymExecPaths = u.symExecPaths.Load()
+	s.SimSteps = u.simSteps.Load()
+	s.SimEvents = u.simEvents.Load()
+	s.TracePackets = u.tracePackets.Load()
+	return s
 }
 
 // Exceeded is the sentinel every *ExceededError matches via errors.Is.

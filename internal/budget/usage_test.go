@@ -1,0 +1,57 @@
+package budget
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestUsageNilSafe(t *testing.T) {
+	var u *Usage
+	u.AddSymExecSteps(10)
+	u.AddSymExecPaths(1)
+	u.AddSimSteps(5)
+	u.AddSimEvents(2)
+	u.AddTracePackets(3)
+	s := u.Snapshot(Limits{})
+	if s.SymExecSteps != 0 || s.SimEvents != 0 || s.TracePackets != 0 {
+		t.Fatalf("nil usage accumulated: %+v", s)
+	}
+	if s.SymExecStepLimit != DefaultSymExecSteps || s.SimStepLimit != DefaultSimSteps {
+		t.Fatalf("snapshot did not resolve default limits: %+v", s)
+	}
+	if UsageFrom(context.Background()) != nil {
+		t.Fatal("UsageFrom(bare ctx) should be nil")
+	}
+}
+
+func TestUsageAccumulatesThroughContext(t *testing.T) {
+	u := &Usage{}
+	ctx := WithUsage(context.Background(), u)
+	got := UsageFrom(ctx)
+	if got != u {
+		t.Fatal("UsageFrom(WithUsage(ctx)) != original")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got.AddSymExecSteps(2)
+				got.AddSimEvents(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := u.Snapshot(Limits{SymExecSteps: 1000, SimEvents: 500})
+	if s.SymExecSteps != 800 {
+		t.Fatalf("symexec steps = %d, want 800", s.SymExecSteps)
+	}
+	if s.SimEvents != 400 {
+		t.Fatalf("sim events = %d, want 400", s.SimEvents)
+	}
+	if s.SymExecStepLimit != 1000 || s.SimEventLimit != 500 {
+		t.Fatalf("limits not carried: %+v", s)
+	}
+}

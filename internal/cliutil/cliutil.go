@@ -5,9 +5,11 @@ package cliutil
 
 import (
 	"context"
+	"os"
 	"time"
 
 	"clara/internal/budget"
+	"clara/internal/obs"
 )
 
 // BudgetFlagDoc documents the -budget spec syntax once for all commands.
@@ -15,6 +17,9 @@ const BudgetFlagDoc = "resource budget, e.g. symsteps=200000,sympaths=64,simstep
 
 // TimeoutFlagDoc documents the -timeout flag once for all commands.
 const TimeoutFlagDoc = "wall-clock limit for the whole run, e.g. 30s (0 = none)"
+
+// MetricsFlagDoc documents the -metrics flag once for all commands.
+const MetricsFlagDoc = `write Prometheus text-format metrics here at exit ("-" = stdout)`
 
 // Context builds the root context for one CLI invocation. A non-empty
 // budgetSpec attaches parsed limits; a positive timeout adds a deadline.
@@ -33,4 +38,51 @@ func Context(timeout time.Duration, budgetSpec string) (context.Context, context
 		return ctx, cancel, nil
 	}
 	return ctx, func() {}, nil
+}
+
+// Metrics wires the -metrics flag: an empty spec returns ctx unchanged and a
+// no-op flush; otherwise a fresh registry rides the context (every stage the
+// analysis pipeline touches records into it) and flush writes the Prometheus
+// text exposition to the destination. Spec "-" means stdout. File
+// destinations are created eagerly so a bad path fails before the run burns
+// any work; both budget usage counters and stage metrics ride along.
+func Metrics(ctx context.Context, spec string) (context.Context, func() error, error) {
+	if spec == "" {
+		return ctx, func() error { return nil }, nil
+	}
+	m := obs.New()
+	u := &budget.Usage{}
+	ctx = obs.With(ctx, m)
+	ctx = budget.WithUsage(ctx, u)
+	limits := budget.From(ctx)
+	export := func() {
+		s := u.Snapshot(limits)
+		m.Gauge("clara_budget_symexec_steps").Set(s.SymExecSteps)
+		m.Gauge("clara_budget_symexec_paths").Set(s.SymExecPaths)
+		m.Gauge("clara_budget_sim_steps").Set(s.SimSteps)
+		m.Gauge("clara_budget_sim_events").Set(s.SimEvents)
+		m.Gauge("clara_budget_trace_packets").Set(s.TracePackets)
+		m.Gauge("clara_budget_symexec_step_limit").Set(s.SymExecStepLimit)
+		m.Gauge("clara_budget_symexec_path_limit").Set(s.SymExecPathLimit)
+		m.Gauge("clara_budget_sim_step_limit").Set(s.SimStepLimit)
+		m.Gauge("clara_budget_sim_event_limit").Set(s.SimEventLimit)
+	}
+	if spec == "-" {
+		return ctx, func() error {
+			export()
+			return m.WritePrometheus(os.Stdout)
+		}, nil
+	}
+	f, err := os.Create(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctx, func() error {
+		export()
+		if werr := m.WritePrometheus(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		return f.Close()
+	}, nil
 }

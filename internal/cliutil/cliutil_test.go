@@ -1,0 +1,114 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clara/internal/budget"
+	"clara/internal/obs"
+)
+
+func TestContextNoFlags(t *testing.T) {
+	ctx, cancel, err := Context(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("no -timeout given but context has a deadline")
+	}
+	if l := budget.From(ctx); l != (budget.Limits{}) {
+		t.Errorf("no -budget given but context carries limits %+v", l)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel, err := Context(time.Minute, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("-timeout given but context has no deadline")
+	}
+	if until := time.Until(dl); until <= 0 || until > time.Minute {
+		t.Errorf("deadline %v from now, want within (0, 1m]", until)
+	}
+}
+
+func TestContextBudgetRoundTrip(t *testing.T) {
+	ctx, cancel, err := Context(0, "symsteps=200000,sympaths=64,simsteps=1e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	l := budget.From(ctx)
+	if l.SymExecSteps != 200000 || l.SymExecPaths != 64 || l.SimSteps != 1_000_000 {
+		t.Errorf("budget did not round-trip through the context: %+v", l)
+	}
+}
+
+func TestContextBadBudget(t *testing.T) {
+	for _, spec := range []string{"symsteps", "symsteps=abc", "nosuchknob=3"} {
+		if _, _, err := Context(0, spec); err == nil {
+			t.Errorf("budget spec %q: want error, got nil", spec)
+		}
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	base := context.Background()
+	ctx, flush, err := Metrics(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx != base {
+		t.Error("empty spec should leave the context untouched")
+	}
+	if obs.From(ctx) != nil {
+		t.Error("empty spec should not attach a registry")
+	}
+	if err := flush(); err != nil {
+		t.Errorf("no-op flush: %v", err)
+	}
+}
+
+func TestMetricsBadPath(t *testing.T) {
+	_, _, err := Metrics(context.Background(), filepath.Join(t.TempDir(), "no", "such", "dir", "m.prom"))
+	if err == nil {
+		t.Fatal("unwritable -metrics destination: want error at setup, got nil")
+	}
+}
+
+func TestMetricsWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.prom")
+	ctx, flush, err := Metrics(budget.With(context.Background(), budget.Limits{SimSteps: 500}), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.From(ctx).Counter("clara_test_events_total").Add(3)
+	budget.UsageFrom(ctx).AddSimSteps(42)
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"# TYPE clara_test_events_total counter",
+		"clara_test_events_total 3",
+		"clara_budget_sim_steps 42",
+		"clara_budget_sim_step_limit 500",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics file missing %q:\n%s", want, text)
+		}
+	}
+}

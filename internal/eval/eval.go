@@ -18,6 +18,7 @@ import (
 	"clara/internal/mapper"
 	"clara/internal/nf"
 	"clara/internal/nicsim"
+	"clara/internal/obs"
 	"clara/internal/partial"
 	"clara/internal/predict"
 	"clara/internal/runner"
@@ -86,6 +87,9 @@ func (r run) execute(predictToo bool) (*runResult, error) {
 }
 
 func (r run) executeContext(ctx context.Context, predictToo bool) (*runResult, error) {
+	mtr := obs.From(ctx)
+	mtr.Counter("clara_eval_cells_total").Add(1)
+	defer mtr.StageTimer("eval_cell")()
 	prog, err := r.spec.Compile()
 	if err != nil {
 		return nil, err

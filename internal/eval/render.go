@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"clara/internal/cir"
+)
+
+// Experiments returns the experiment names in canonical order — the order
+// "-experiment all" runs them and the order golden outputs are recorded.
+func Experiments() []string {
+	return []string{
+		"fig1", "fig3a", "fig3b", "fig3c", "accuracy",
+		"cksum", "classes", "interference", "ablation", "partial",
+	}
+}
+
+// Render runs one named experiment and returns its rendered report. Unknown
+// names return an error listing the valid set.
+func Render(name string, cfg Config) (string, error) {
+	fn, ok := renderers()[name]
+	if !ok {
+		return "", fmt.Errorf("eval: unknown experiment %q (have %v and all)", name, Experiments())
+	}
+	return fn(cfg)
+}
+
+// RenderAll runs every experiment in canonical order, separated by
+// "==== name ====" headers — the clara-eval "-experiment all" output.
+func RenderAll(cfg Config) (string, error) {
+	var b strings.Builder
+	for _, name := range Experiments() {
+		fmt.Fprintf(&b, "==== %s ====\n", name)
+		s, err := Render(name, cfg)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func renderers() map[string]func(Config) (string, error) {
+	return map[string]func(Config) (string, error){
+		"fig1":         renderFig1,
+		"fig3a":        renderFig3a,
+		"fig3b":        renderFig3b,
+		"fig3c":        renderFig3c,
+		"accuracy":     renderAccuracy,
+		"cksum":        renderCksum,
+		"classes":      renderClasses,
+		"interference": renderInterference,
+		"ablation":     renderAblation,
+		"partial":      renderPartial,
+	}
+}
+
+func renderFig1(cfg Config) (string, error) {
+	rows, err := Fig1(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatFig1(rows), nil
+}
+
+func renderFig3a(cfg Config) (string, error) {
+	points, err := Fig3a(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatSweep("Figure 3a: LPM latency vs table entries (predicted vs actual)", "entries", points, true), nil
+}
+
+func renderFig3b(cfg Config) (string, error) {
+	points, err := Fig3b(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatSweep("Figure 3b: VNF chain latency vs payload size", "payload", points, true), nil
+}
+
+func renderFig3c(cfg Config) (string, error) {
+	points, err := Fig3c(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatSweep("Figure 3c: NAT latency vs payload size", "payload", points, false), nil
+}
+
+func renderAccuracy(cfg Config) (string, error) {
+	rows, err := Accuracy(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatAccuracy(rows), nil
+}
+
+func renderCksum(cfg Config) (string, error) {
+	gap, err := Cksum(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Checksum placement (E7, paper §2.1; 1000B packets, end-to-end NAT):\n")
+	fmt.Fprintf(&b, "  accelerator: %8.0f cycles/pkt\n", gap.AccelCycles)
+	fmt.Fprintf(&b, "  software:    %8.0f cycles/pkt\n", gap.SWCycles)
+	fmt.Fprintf(&b, "  penalty:     %8.0f extra cycles (paper: ~1700)\n", gap.ExtraCycles)
+	return b.String(), nil
+}
+
+func renderClasses(cfg Config) (string, error) {
+	rows, err := Classes(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-class profile (E8, paper §3.5; stateful firewall):\n")
+	for _, r := range rows {
+		verdict := "pass"
+		if r.Verdict == cir.VerdictDrop {
+			verdict = "drop"
+		}
+		fmt.Fprintf(&b, "  %-24s p=%.3f  %8.0f cycles  %s\n", r.Class, r.Prob, r.Predicted, verdict)
+	}
+	return b.String(), nil
+}
+
+func renderInterference(cfg Config) (string, error) {
+	rows, err := Interference(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interference via LNIC slicing (E9, paper §3.5):\n")
+	fmt.Fprintf(&b, "  %-10s %14s %14s %14s %14s\n", "NF", "solo cyc", "shared cyc", "solo pps", "shared pps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %14.0f %14.0f %14.0f %14.0f\n", r.NF, r.SoloCycles, r.SharedCycles, r.SoloThroughput, r.SharedPPS)
+	}
+	return b.String(), nil
+}
+
+func renderAblation(cfg Config) (string, error) {
+	rows, err := ILPvsGreedy(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: ILP mapping vs greedy first-fit (expected cycles/pkt):\n")
+	for _, r := range rows {
+		speedup := r.GreedyCycles / r.ILPCycles
+		fmt.Fprintf(&b, "  %-10s ILP %10.0f   greedy %10.0f   (%.2fx)\n", r.NF, r.ILPCycles, r.GreedyCycles, speedup)
+	}
+	q, err := QueueAware(cfg)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Ablation: queue-aware prediction at %.0f pps:\n", q.RatePPS)
+	fmt.Fprintf(&b, "  actual %0.f, with queueing %.0f, queue-free %.0f cycles\n", q.Actual, q.WithQueueing, q.QueueFreeOnly)
+	return b.String(), nil
+}
+
+func renderPartial(cfg Config) (string, error) {
+	rows, err := Partial(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partial offloading (§6 extension; NIC-prefix cut sweep vs host-x86 over PCIe):\n")
+	fmt.Fprintf(&b, "  %-10s %9s %12s %12s %12s %10s\n", "NF", "best cut", "full-NIC ns", "full-host ns", "best ns", "energy cut")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %5d/%-3d %12.0f %12.0f %12.0f %10d\n",
+			r.NF, r.BestCut, r.TotalCuts, r.FullNICNanos, r.FullHostNanos, r.BestNanos, r.EnergyBestCut)
+	}
+	return b.String(), nil
+}

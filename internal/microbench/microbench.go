@@ -22,6 +22,7 @@ import (
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/nicsim"
+	"clara/internal/obs"
 	"clara/internal/runner"
 	"clara/internal/workload"
 )
@@ -177,7 +178,10 @@ func RunContext(ctx context.Context, nic *lnic.LNIC, workers int) (*Report, erro
 	}
 
 	groups, err := runner.Map(ctx, workers, len(steps),
-		func(sctx context.Context, i int) ([]Param, error) { return steps[i](sctx) })
+		func(sctx context.Context, i int) ([]Param, error) {
+			obs.From(sctx).Counter("clara_microbench_probes_total").Add(1)
+			return steps[i](sctx)
+		})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, &budget.CanceledError{Stage: "microbench", NF: nic.Name, Err: cerr}

@@ -9,6 +9,7 @@ package nf
 
 import (
 	"fmt"
+	"sort"
 
 	"clara/internal/cir"
 	"clara/internal/nfc"
@@ -392,4 +393,16 @@ func All() map[string]Spec {
 		"loadbalancer": LoadBalancer(64),
 		"ratelimiter":  RateLimiter(5000),
 	}
+}
+
+// Names returns the corpus keys in sorted order, for deterministic iteration
+// in table-driven tests and CLIs (All returns an unordered map).
+func Names() []string {
+	all := All()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

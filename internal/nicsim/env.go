@@ -18,6 +18,7 @@ type exec struct {
 	now     float64
 	bd      Breakdown
 	emitted bool
+	steps   int64 // instructions executed (budget-usage accounting)
 
 	parsed   [8]bool // indexed by proto constant; charged once per packet
 	latched  map[string]*mapEntry
@@ -27,6 +28,7 @@ type exec struct {
 // onInstr prices non-vcall instructions using the representative core's
 // per-class cycle table. VCall pricing happens inside VCall itself.
 func (e *exec) onInstr(_ int, in *cir.Instr) {
+	e.steps++
 	cl := cir.ClassOf(in.Op)
 	if cl == cir.ClassVCall {
 		return

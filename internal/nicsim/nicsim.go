@@ -22,6 +22,7 @@ import (
 	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/lnic"
+	"clara/internal/obs"
 	"clara/internal/packet"
 	"clara/internal/workload"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	// Faults, when non-nil, injects hardware faults during the run (see the
 	// Faults type); validated against the NIC at New.
 	Faults *Faults
+	// Timeline enables the per-packet hop tracer: every hub, dispatch, NPU,
+	// accelerator, memory and egress visit is recorded with cycle timestamps
+	// and queue depths into Result.Timeline. Off by default; the disabled
+	// path costs one nil check per hop.
+	Timeline bool
 }
 
 // Breakdown splits a packet's cycles by where they were spent.
@@ -111,6 +117,8 @@ type Result struct {
 	// Faults accounts injected hardware faults (zero when Config.Faults is
 	// nil or nothing fired).
 	Faults FaultReport
+	// Timeline is the per-packet hop trace (nil unless Config.Timeline).
+	Timeline *Timeline
 }
 
 // MeanLatency returns the average latency in cycles.
@@ -211,6 +219,10 @@ type Sim struct {
 	runDPI     int64   // DPI byte budget for the current run (0 = whole payload)
 	svcSum     float64 // total NPU service cycles of completed packets
 	svcCount   int     // completed packets behind svcSum
+
+	tl        *Timeline // hop tracer; nil when Config.Timeline is false
+	curPkt    int       // packet index the tracer attributes hops to
+	memCycles []float64 // per-region cycle totals of the in-flight packet (tracer only)
 }
 
 // New validates the configuration and builds a simulator with preloaded
@@ -251,6 +263,10 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		fcUnit:   -1,
 		rngState: uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		faults:   cfg.Faults,
+	}
+	if cfg.Timeline {
+		s.tl = &Timeline{NF: cfg.Prog.Name, NIC: cfg.NIC.Name, ClockGHz: cfg.NIC.ClockGHz}
+		s.memCycles = make([]float64, len(cfg.NIC.Mems))
 	}
 	if s.faults != nil {
 		seed := s.faults.Seed
@@ -368,6 +384,9 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		Packets:      make([]PacketResult, 0, len(tr.Packets)),
 		CacheHitRate: map[string]float64{},
 	}
+	metrics := obs.From(ctx)
+	usage := budget.UsageFrom(ctx)
+	runSteps := int64(0)
 	// finish seals aggregate rates and the fault report; partial-result
 	// errors carry the same sealed Result a full run would return.
 	finish := func() *Result {
@@ -380,6 +399,16 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			res.FlowCacheHitRate = math.NaN()
 		}
 		res.Faults = s.report
+		res.Timeline = s.tl
+		usage.AddSimEvents(int64(len(res.Packets)))
+		usage.AddSimSteps(runSteps)
+		if metrics != nil {
+			metrics.Counter("clara_sim_packets_total").Add(int64(len(res.Packets)))
+			metrics.Counter("clara_sim_steps_total").Add(runSteps)
+			metrics.Counter("clara_sim_errors_total").Add(int64(res.Errors))
+			metrics.Counter("clara_sim_dropped_total").Add(int64(s.report.Dropped))
+			metrics.Counter("clara_sim_corrupted_total").Add(int64(s.report.Corrupted))
+		}
 		return res
 	}
 	interp := cir.NewInterp(s.prog)
@@ -399,6 +428,12 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		tp := &tr.Packets[i]
 		arrival := tp.ArrivalNs * clock
 		s.pktFaulted = false
+		s.curPkt = i
+		if s.memCycles != nil {
+			for r := range s.memCycles {
+				s.memCycles[r] = 0
+			}
+		}
 
 		data := tp.Data
 		if f := s.faults; f != nil && f.Corrupt > 0 && len(data) > 0 && s.frandFloat() < f.Corrupt {
@@ -441,6 +476,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			}
 		}
 		dma := float64(len(data)/64+1) * 1.0
+		s.tl.add(Hop{Packet: i, Stage: "dma", Unit: -1, Start: t, Dur: dma})
 		t += dma
 		e.bd.Fixed += dma
 		if s.cfg.Place.ParseOnEngine {
@@ -468,10 +504,15 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 				continue
 			}
 		}
+		if s.tl != nil {
+			s.tl.add(Hop{Packet: i, Stage: "dispatch", Unit: th, Start: start,
+				Wait: start - t, Depth: busyAfter(s.threadFree, t)})
+		}
 		e.bd.Queue += start - t
 		e.now = start
 
 		verdict, err := interp.Run(e, &cir.Hooks{OnInstr: e.onInstr, MaxSteps: simSteps, Ctx: ctx})
+		runSteps += e.steps
 		if err != nil {
 			s.threadFree[th] = e.now
 			if errors.Is(err, cir.ErrStepLimit) {
@@ -491,6 +532,18 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		s.threadFree[th] = e.now
 		s.svcSum += e.now - start
 		s.svcCount++
+		if s.tl != nil {
+			s.tl.add(Hop{Packet: i, Stage: "npu", Unit: th, Start: start, Dur: e.now - start})
+			// Memory time is interleaved with compute on the core, so the
+			// tracer reports it as one aggregate span per region rather than
+			// thousands of per-access events.
+			for r, cyc := range s.memCycles {
+				if cyc > 0 {
+					s.tl.add(Hop{Packet: i, Stage: "mem:" + s.nic.Mems[r].Name,
+						Unit: -1, Start: start, Dur: cyc})
+				}
+			}
+		}
 
 		done := e.now
 		if verdict == cir.VerdictPass && e.emitted {
@@ -502,11 +555,13 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			// manufacture phantom waits behind long-running packets).
 			if eg := s.nic.UnitsOfKind(lnic.UnitEgress); len(eg) > 0 {
 				svc := s.nic.Units[eg[0]].FixedCycles
+				s.tl.add(Hop{Packet: i, Stage: "egress", Unit: -1, Start: done, Dur: svc})
 				done += svc
 				e.bd.Fixed += svc
 			}
 			if len(s.nic.Hubs) > 1 {
 				svc := s.nic.Hubs[1].ServiceCycles
+				s.tl.add(Hop{Packet: i, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
 				done += svc
 				e.bd.Fixed += svc
 			}
@@ -546,6 +601,14 @@ func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) (float64, bool) {
 	start := math.Max(t, servers[best])
 	if f := s.faults; f != nil && f.QueueCap > 0 && start-t > float64(f.QueueCap)*h.ServiceCycles {
 		return t, true // queue overflow: drop without booking a server
+	}
+	if s.tl != nil {
+		stage := "ingress-hub"
+		if hub > 0 {
+			stage = fmt.Sprintf("hub%d", hub)
+		}
+		s.tl.add(Hop{Packet: s.curPkt, Stage: stage, Unit: best, Start: start,
+			Dur: h.ServiceCycles, Wait: start - t, Depth: busyAfter(servers, t)})
 	}
 	bd.Queue += start - t
 	done := start + h.ServiceCycles
@@ -594,6 +657,9 @@ func (s *Sim) memAccess(region int, addr uint64, store bool, bd *Breakdown) floa
 			base *= 2 // one retry
 		}
 	}
+	if s.memCycles != nil {
+		s.memCycles[region] += base
+	}
 	bd.Mem += base
 	return base
 }
@@ -617,7 +683,19 @@ func (s *Sim) accelVisit(unit int, bytes int, now float64, bd *Breakdown) (float
 			}
 		}
 	}
-	start := s.claimServer(unit, now, svc)
+	var depth int
+	if s.tl != nil {
+		depth = busyAfter(s.unitFree[unit], now)
+	}
+	start, server := s.claimServer(unit, now, svc)
+	if s.tl != nil {
+		stage := "accel:" + u.AccelClass
+		if u.AccelClass == "" {
+			stage = "accel:" + u.Name
+		}
+		s.tl.add(Hop{Packet: s.curPkt, Stage: stage, Unit: server, Start: start,
+			Dur: svc, Wait: start - now, Depth: depth})
+	}
 	bd.Queue += start - now
 	bd.Accel += svc
 	return start + svc, true
@@ -646,15 +724,23 @@ func (s *Sim) peekWait(unit int, now float64) float64 {
 // booking only the unit's fixed service time.
 func (s *Sim) engineVisit(unit int, now float64, bd *Breakdown) float64 {
 	u := &s.nic.Units[unit]
-	start := s.claimServer(unit, now, u.FixedCycles)
+	var depth int
+	if s.tl != nil {
+		depth = busyAfter(s.unitFree[unit], now)
+	}
+	start, server := s.claimServer(unit, now, u.FixedCycles)
+	if s.tl != nil {
+		s.tl.add(Hop{Packet: s.curPkt, Stage: "parse", Unit: server, Start: start,
+			Dur: u.FixedCycles, Wait: start - now, Depth: depth})
+	}
 	bd.Queue += start - now
 	bd.Fixed += u.FixedCycles
 	return start + u.FixedCycles
 }
 
 // claimServer finds the unit's earliest-free server, books svc cycles on it
-// starting no earlier than now, and returns the start time.
-func (s *Sim) claimServer(unit int, now, svc float64) float64 {
+// starting no earlier than now, and returns the start time and server index.
+func (s *Sim) claimServer(unit int, now, svc float64) (float64, int) {
 	servers, ok := s.unitFree[unit]
 	if !ok {
 		n := s.nic.Units[unit].Threads
@@ -672,7 +758,7 @@ func (s *Sim) claimServer(unit int, now, svc float64) float64 {
 	}
 	start := math.Max(now, servers[best])
 	servers[best] = start + svc
-	return start
+	return start, best
 }
 
 func (s *Sim) random() uint64 {

@@ -24,6 +24,7 @@ import (
 	"clara/internal/budget"
 	"clara/internal/cir"
 	"clara/internal/mapper"
+	"clara/internal/obs"
 )
 
 // Attrs is one point in the attribute lattice.
@@ -108,6 +109,22 @@ func EnumerateContext(ctx context.Context, prog *cir.Program) ([]Class, error) {
 	seen := map[key]int{}
 	var out []Class
 	paths := int64(0)
+	// Step counting runs only when an observer asked for it: the per-
+	// instruction hook is pure overhead otherwise.
+	m := obs.From(ctx)
+	usage := budget.UsageFrom(ctx)
+	steps := int64(0)
+	var countStep func(int, *cir.Instr)
+	if m != nil || usage != nil {
+		countStep = func(int, *cir.Instr) { steps++ }
+		defer func() {
+			usage.AddSymExecPaths(paths)
+			usage.AddSymExecSteps(steps)
+			m.Counter("clara_symexec_paths_total").Add(paths)
+			m.Counter("clara_symexec_steps_total").Add(steps)
+			m.Counter("clara_symexec_classes_total").Add(int64(len(out)))
+		}()
+	}
 	finish := func(classes []Class) []Class {
 		sort.Slice(classes, func(i, j int) bool { return classes[i].Name() < classes[j].Name() })
 		return classes
@@ -135,7 +152,7 @@ func EnumerateContext(ctx context.Context, prog *cir.Program) ([]Class, error) {
 						}
 						a := Attrs{Proto: proto, SYN: syn, FlowSeen: flowSeen,
 							DPIMatch: dpi, Heavy: heavy, PayloadLen: payload}
-						cl, err := runClass(ctx, prog, a, maxSteps)
+						cl, err := runClass(ctx, prog, a, maxSteps, countStep)
 						if err != nil {
 							if errors.Is(err, cir.ErrStepLimit) {
 								return nil, &budget.ExceededError{
@@ -191,8 +208,9 @@ func traceKey(blocks []int) string {
 	return b.String()
 }
 
-// runClass executes the program once under the attribute valuation.
-func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int) (*Class, error) {
+// runClass executes the program once under the attribute valuation. onInstr,
+// when non-nil, observes every instruction (step accounting).
+func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int, onInstr func(int, *cir.Instr)) (*Class, error) {
 	cl := &Class{
 		Attrs:      a,
 		BlockCount: map[int]int{},
@@ -200,6 +218,7 @@ func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int) (*C
 	}
 	env := NewEnv(a)
 	hooks := &cir.Hooks{
+		OnInstr: onInstr,
 		OnBlock: func(b int) {
 			// Bound the recorded trace; loops repeat blocks.
 			if len(cl.BlockTrace) < 4096 {

@@ -242,6 +242,7 @@ func GenerateContext(ctx context.Context, p Profile) (*Trace, error) {
 		}
 		tr.Packets = append(tr.Packets, TracePacket{Data: data, ArrivalNs: now})
 	}
+	budget.UsageFrom(ctx).AddTracePackets(int64(len(tr.Packets)))
 	return tr, nil
 }
 
@@ -356,6 +357,7 @@ func ReadPcapContext(ctx context.Context, r io.Reader, name string) (*Trace, err
 			ArrivalNs: float64(rec.Timestamp.Sub(t0)),
 		})
 	}
+	budget.UsageFrom(ctx).AddTracePackets(int64(len(tr.Packets)))
 	return tr, nil
 }
 
