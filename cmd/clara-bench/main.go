@@ -18,6 +18,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup — cancel and the
+// -metrics flush — executes on every exit path, including errors and
+// SIGINT/SIGTERM cancellation (partial metrics of an interrupted run still
+// reach the -metrics destination).
+func run() (err error) {
 	target := flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
 	curve := flag.Bool("curve", true, "probe the packet-size latency curve and locate the knee")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the probe suite (default GOMAXPROCS, 1 = sequential)")
@@ -28,25 +39,25 @@ func main() {
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer cancel()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := flushMetrics(); err != nil {
-			fatal(err)
+		if ferr := flushMetrics(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 	t, err := clara.NewTarget(*target)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep, err := clara.MicrobenchContext(ctx, t, *parallel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(rep.String())
 
@@ -54,7 +65,7 @@ func main() {
 		sizes := []int{128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096}
 		points, err := microbench.PacketCurveContext(ctx, t, sizes)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\npacket-size latency curve (per-byte cycles):\n")
 		for _, p := range points {
@@ -66,9 +77,5 @@ func main() {
 			fmt.Println("no knee detected (flat curve)")
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clara-bench:", err)
-	os.Exit(1)
+	return nil
 }

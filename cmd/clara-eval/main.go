@@ -28,6 +28,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara-eval:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup — cancel and the
+// -metrics flush — executes on every exit path, including errors and
+// SIGINT/SIGTERM cancellation (partial metrics of an interrupted run still
+// reach the -metrics destination).
+func run() (err error) {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	packets := flag.Int("packets", 4000, "packets per simulated trace")
 	seed := flag.Int64("seed", 11, "trace and table seed")
@@ -39,16 +50,16 @@ func main() {
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer cancel()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := flushMetrics(); err != nil {
-			fatal(err)
+		if ferr := flushMetrics(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 	cfg := eval.Config{Packets: *packets, Seed: *seed, Parallel: *parallel, Ctx: ctx}
@@ -59,12 +70,8 @@ func main() {
 		out, err = eval.Render(*experiment, cfg)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clara-eval:", err)
-	os.Exit(1)
+	return nil
 }

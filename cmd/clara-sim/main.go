@@ -26,6 +26,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup — cancel and the
+// -metrics flush — executes on every exit path, including errors and
+// SIGINT/SIGTERM cancellation (partial metrics of an interrupted run still
+// reach the -metrics destination).
+func run() (err error) {
 	var (
 		nfPath      = flag.String("nf", "", "NF source file (required)")
 		target      = flag.String("target", "netronome", "SmartNIC target(s), comma-separated: "+strings.Join(clara.Targets(), ", "))
@@ -47,22 +58,21 @@ func main() {
 	flag.Parse()
 
 	if *nfPath == "" {
-		fmt.Fprintln(os.Stderr, "clara-sim: -nf is required")
 		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("-nf is required")
 	}
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer cancel()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := flushMetrics(); err != nil {
-			fatal(err)
+		if ferr := flushMetrics(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 	if *pprofAddr != "" {
@@ -74,11 +84,11 @@ func main() {
 	}
 	faults, err := clara.ParseFaults(*faultsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	nf, err := clara.LoadNF(*nfPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for k, v := range preload.m {
 		nf.Preload[k] = v
@@ -93,25 +103,25 @@ func main() {
 	if *pcapPath != "" {
 		f, err := os.Open(*pcapPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wl, tr, err = clara.WorkloadFromPcapContext(ctx, f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		prof, err := clara.ParseTrafficProfile(*workloadStr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tr, err = clara.GenerateTraceContext(ctx, prof)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wl, err = clara.ParseWorkload(*workloadStr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -127,7 +137,7 @@ func main() {
 				*timelineOut != "" && i == 0)
 		})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, rep := range reports {
 		fmt.Print(rep.report)
@@ -135,18 +145,19 @@ func main() {
 	if *timelineOut != "" {
 		f, err := os.Create(*timelineOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := reports[0].timeline.WriteChromeTrace(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote timeline for %s to %s (%d hops)\n",
 			targets[0], *timelineOut, len(reports[0].timeline.Hops))
 	}
+	return nil
 }
 
 // simOut is one target's rendered report plus its optional timeline.
@@ -228,9 +239,4 @@ func (p *preloadFlags) Set(v string) error {
 	}
 	p.m[parts[0]] = n
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clara-sim:", err)
-	os.Exit(1)
 }

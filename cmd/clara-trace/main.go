@@ -17,6 +17,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup — cancel and the
+// -metrics flush — executes on every exit path, including errors and
+// SIGINT/SIGTERM cancellation (partial metrics of an interrupted run still
+// reach the -metrics destination).
+func run() (err error) {
 	var (
 		workloadStr = flag.String("workload", "", "traffic spec to synthesize, e.g. packets=100000,flows=10000,size=300")
 		out         = flag.String("out", "", "write the synthesized trace to this pcap file")
@@ -29,28 +40,28 @@ func main() {
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer cancel()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := flushMetrics(); err != nil {
-			fatal(err)
+		if ferr := flushMetrics(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 
 	if *statsPath != "" {
 		f, err := os.Open(*statsPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		wl, tr, err := clara.WorkloadFromPcapContext(ctx, f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		st := tr.Stats()
 		fmt.Printf("trace %s: %d packets\n", *statsPath, st.Packets)
@@ -59,36 +70,32 @@ func main() {
 		fmt.Printf("  sizes:        %.0f B payload, %.0f B wire average\n", st.AvgPayload, st.AvgWire)
 		fmt.Printf("  rate:         %.0f pps over %.2f ms\n", st.RatePPS, st.DurationNs/1e6)
 		fmt.Printf("  as expectations: %+v\n", wl)
-		return
+		return nil
 	}
 
 	prof, err := clara.ParseTrafficProfile(*workloadStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr, err := clara.GenerateTraceContext(ctx, prof)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := tr.Stats()
 	fmt.Printf("synthesized %d packets, %d flows, %.0f B avg payload, %.0f pps\n",
 		st.Packets, st.Flows, st.AvgPayload, st.RatePPS)
 	if *out == "" {
 		fmt.Println("(no -out given; nothing written)")
-		return
+		return nil
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := tr.WritePcap(f); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clara-trace:", err)
-	os.Exit(1)
+	return nil
 }

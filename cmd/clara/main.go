@@ -22,6 +22,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole invocation so deferred cleanup — cancel and the
+// -metrics flush — executes on every exit path, including errors and
+// SIGINT/SIGTERM cancellation (cliutil.Context wires the signals; partial
+// metrics of an interrupted run still reach the -metrics destination).
+func run() (err error) {
 	var (
 		nfPath      = flag.String("nf", "", "NF source file (required)")
 		target      = flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
@@ -47,27 +58,26 @@ func main() {
 	flag.Parse()
 
 	if *nfPath == "" {
-		fmt.Fprintln(os.Stderr, "clara: -nf is required")
 		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("-nf is required")
 	}
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer cancel()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := flushMetrics(); err != nil {
-			fatal(err)
+		if ferr := flushMetrics(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 	nf, err := clara.LoadNF(*nfPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *showIR {
 		fmt.Print(nf.Program.String())
@@ -78,7 +88,7 @@ func main() {
 	if *showClasses {
 		classes, err := nf.ClassesContext(ctx)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("packet classes of %s:\n", nf.Name())
 		for i := range classes {
@@ -91,45 +101,45 @@ func main() {
 	case *pcapPath != "":
 		f, err := os.Open(*pcapPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wl, _, err = clara.WorkloadFromPcapContext(ctx, f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
 		wl, err = clara.ParseWorkload(*workloadStr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	if *partialFlag {
 		t, err := clara.NewTarget(*target)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		an, err := clara.AnalyzePartialContext(ctx, nf, t, wl, clara.DefaultPCIe(), *parallelN)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(an.String())
-		return
+		return nil
 	}
 
 	if *advise {
 		advice, err := clara.AdviseContext(ctx, nf, wl, *parallelN)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(clara.FormatAdvice(nf.Name(), advice))
-		return
+		return nil
 	}
 
 	t, err := clara.NewTarget(*target)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	hints := clara.Hints{
 		DisableFlowCache:     *noFlowCache,
@@ -140,16 +150,17 @@ func main() {
 	}
 	m, err := nf.MapContext(ctx, t, wl, hints)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *showMapping {
 		fmt.Print(m.Describe(nf.Graph, t))
 	}
 	pred, err := nf.PredictMappedContext(ctx, t, m, wl, clara.PredictOptions{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(pred.String())
+	return nil
 }
 
 type pinFlags struct{ m map[string]string }
@@ -166,9 +177,4 @@ func (p *pinFlags) Set(v string) error {
 	}
 	p.m[parts[0]] = parts[1]
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clara:", err)
-	os.Exit(1)
 }

@@ -87,6 +87,32 @@ func (l Limits) FlowEntryLimit() int64 {
 	return DefaultFlowEntries
 }
 
+// Clamp tightens every dimension of a requested budget to at most the
+// ceiling: a zero ceiling dimension passes the request through unchanged, a
+// zero (unlimited or default) request dimension adopts the ceiling, and
+// otherwise the smaller of the two wins. Servers apply it so a client's
+// -budget spec can narrow, but never widen, the operator's per-request
+// limits.
+func Clamp(req, ceiling Limits) Limits {
+	c := func(r, ceil int64) int64 {
+		if ceil <= 0 {
+			return r
+		}
+		if r <= 0 || r > ceil {
+			return ceil
+		}
+		return r
+	}
+	return Limits{
+		SymExecSteps: c(req.SymExecSteps, ceiling.SymExecSteps),
+		SymExecPaths: c(req.SymExecPaths, ceiling.SymExecPaths),
+		SimSteps:     c(req.SimSteps, ceiling.SimSteps),
+		SimEvents:    c(req.SimEvents, ceiling.SimEvents),
+		FlowEntries:  c(req.FlowEntries, ceiling.FlowEntries),
+		DPIBytes:     c(req.DPIBytes, ceiling.DPIBytes),
+	}
+}
+
 type ctxKey struct{}
 
 // With returns a context carrying the limits; every budget-aware entry

@@ -139,3 +139,29 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestClamp(t *testing.T) {
+	ceiling := Limits{SymExecSteps: 1000, SimSteps: 2000, SimEvents: 300}
+	cases := []struct {
+		name string
+		req  Limits
+		want Limits
+	}{
+		{"zero request adopts ceiling", Limits{}, ceiling},
+		{"tighter request wins", Limits{SymExecSteps: 10, SimEvents: 5},
+			Limits{SymExecSteps: 10, SimSteps: 2000, SimEvents: 5}},
+		{"looser request clamps", Limits{SymExecSteps: 1e6, SimSteps: 1e6, SimEvents: 1e6}, ceiling},
+		{"unlimited ceiling dims pass through", Limits{FlowEntries: 77, DPIBytes: 9},
+			Limits{SymExecSteps: 1000, SimSteps: 2000, SimEvents: 300, FlowEntries: 77, DPIBytes: 9}},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.req, ceiling); got != c.want {
+			t.Errorf("%s: Clamp(%+v) = %+v, want %+v", c.name, c.req, got, c.want)
+		}
+	}
+	// A zero ceiling clamps nothing.
+	req := Limits{SymExecSteps: 5, SimEvents: 7}
+	if got := Clamp(req, Limits{}); got != req {
+		t.Errorf("Clamp with zero ceiling = %+v, want %+v", got, req)
+	}
+}

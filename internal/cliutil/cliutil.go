@@ -5,7 +5,10 @@ package cliutil
 
 import (
 	"context"
+	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"clara/internal/budget"
@@ -23,7 +26,13 @@ const MetricsFlagDoc = `write Prometheus text-format metrics here at exit ("-" =
 
 // Context builds the root context for one CLI invocation. A non-empty
 // budgetSpec attaches parsed limits; a positive timeout adds a deadline.
-// The returned cancel func is always non-nil and must be deferred.
+// The context is also cancelled on SIGINT/SIGTERM, so Ctrl-C unwinds the
+// analysis through the normal cancellation plumbing — partial results
+// surface as typed errors and deferred work (the -metrics flush) still
+// runs instead of dying inside the process teardown. A second signal
+// falls through to the default handler and kills the process outright.
+// The returned cancel func is always non-nil and must be deferred; it
+// also unregisters the signal handler.
 func Context(timeout time.Duration, budgetSpec string) (context.Context, context.CancelFunc, error) {
 	ctx := context.Background()
 	if budgetSpec != "" {
@@ -33,11 +42,50 @@ func Context(timeout time.Duration, budgetSpec string) (context.Context, context
 		}
 		ctx = budget.With(ctx, l)
 	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	if timeout > 0 {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
-		return ctx, cancel, nil
+		return ctx, func() { cancel(); stop() }, nil
 	}
-	return ctx, func() {}, nil
+	return ctx, stop, nil
+}
+
+// RequestContext builds the per-request context a serving frontend hands to
+// the analysis pipeline: the request's timeout and budget spec are parsed
+// with the same syntax the CLIs use, then clamped by the server-configured
+// ceilings — a client can tighten both but never exceed the operator's
+// limits. An empty timeout string or "0" selects the ceiling outright
+// (maxTimeout <= 0 means no deadline); an empty budget spec selects the
+// ceiling budget unchanged. The returned cancel must always be called.
+func RequestContext(parent context.Context, timeoutSpec, budgetSpec string, maxTimeout time.Duration, ceiling budget.Limits) (context.Context, context.CancelFunc, error) {
+	timeout := maxTimeout
+	if timeoutSpec != "" {
+		d, err := time.ParseDuration(timeoutSpec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("timeout: %w", err)
+		}
+		if d < 0 {
+			return nil, nil, fmt.Errorf("timeout: negative duration %s", d)
+		}
+		if d > 0 && (maxTimeout <= 0 || d < maxTimeout) {
+			timeout = d
+		}
+	}
+	limits := ceiling
+	if budgetSpec != "" {
+		l, err := budget.Parse(budgetSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		limits = budget.Clamp(l, ceiling)
+	}
+	ctx := budget.With(parent, limits)
+	if timeout > 0 {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		return cctx, cancel, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	return cctx, cancel, nil
 }
 
 // Metrics wires the -metrics flag: an empty spec returns ctx unchanged and a

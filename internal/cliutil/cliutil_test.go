@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -110,5 +111,94 @@ func TestMetricsWritesFile(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics file missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestContextCancelsOnSignal is the Ctrl-C satellite's regression: a SIGINT
+// cancels the root context through the normal plumbing instead of killing
+// the process, so deferred work (the -metrics flush) still runs.
+func TestContextCancelsOnSignal(t *testing.T) {
+	ctx, cancel, err := Context(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the cliutil context")
+	}
+	if !strings.Contains(ctx.Err().Error(), "cancel") {
+		t.Fatalf("unexpected ctx error: %v", ctx.Err())
+	}
+}
+
+// TestRequestContextClamping covers the serving frontend's per-request
+// timeout and budget ceilings.
+func TestRequestContextClamping(t *testing.T) {
+	ceiling := budget.Limits{SymExecSteps: 1000, SimEvents: 500}
+
+	// Request tighter than the ceiling: passes through.
+	ctx, cancel, err := RequestContext(context.Background(), "", "symsteps=100", time.Minute, ceiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	got := budget.From(ctx)
+	if got.SymExecSteps != 100 || got.SimEvents != 500 {
+		t.Fatalf("clamped limits = %+v, want symsteps=100, events=500", got)
+	}
+
+	// Request looser than the ceiling: clamped down.
+	ctx, cancel, err = RequestContext(context.Background(), "", "symsteps=999999,events=1e9", time.Minute, ceiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	got = budget.From(ctx)
+	if got.SymExecSteps != 1000 || got.SimEvents != 500 {
+		t.Fatalf("clamped limits = %+v, want ceiling symsteps=1000, events=500", got)
+	}
+
+	// No request budget: the ceiling applies outright.
+	ctx, cancel, err = RequestContext(context.Background(), "", "", time.Minute, ceiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if got = budget.From(ctx); got != ceiling {
+		t.Fatalf("default limits = %+v, want the ceiling %+v", got, ceiling)
+	}
+
+	// Timeout above the ceiling is clamped to it.
+	ctx, cancel, err = RequestContext(context.Background(), "10h", "", 50*time.Millisecond, ceiling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline despite a max timeout")
+	}
+	if until := time.Until(dl); until > 60*time.Millisecond {
+		t.Fatalf("deadline %v away, want ≤ the 50ms ceiling", until)
+	}
+
+	// Bad specs error.
+	if _, _, err := RequestContext(context.Background(), "nope", "", time.Minute, ceiling); err == nil {
+		t.Error("bad timeout spec accepted")
+	}
+	if _, _, err := RequestContext(context.Background(), "-3s", "", time.Minute, ceiling); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if _, _, err := RequestContext(context.Background(), "", "nope=1", time.Minute, ceiling); err == nil {
+		t.Error("bad budget spec accepted")
 	}
 }

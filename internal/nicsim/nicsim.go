@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"clara/internal/budget"
 	"clara/internal/cir"
@@ -119,32 +120,77 @@ type Result struct {
 	Faults FaultReport
 	// Timeline is the per-packet hop trace (nil unless Config.Timeline).
 	Timeline *Timeline
+
+	// latOnce/lat cache the sorted finite latency slice behind Percentile
+	// and MeanLatency, so repeated quantile queries (a serving workload)
+	// sort once per Result instead of once per call. The fields stay zero
+	// until a statistics method runs; comparing fresh Results with
+	// reflect.DeepEqual (the determinism suite does) is unaffected as long
+	// as both sides are compared before querying statistics.
+	latOnce sync.Once
+	lat     []float64
 }
 
-// MeanLatency returns the average latency in cycles.
+// latencies returns the Result's latencies with NaNs dropped, sorted
+// ascending, computed once and shared by every statistics method. The
+// returned slice is read-only.
+func (r *Result) latencies() []float64 {
+	r.latOnce.Do(func() {
+		lat := make([]float64, 0, len(r.Packets))
+		for i := range r.Packets {
+			if v := r.Packets[i].Latency; !math.IsNaN(v) {
+				lat = append(lat, v)
+			}
+		}
+		sort.Float64s(lat)
+		r.lat = lat
+	})
+	return r.lat
+}
+
+// MeanLatency returns the average latency in cycles over the packets with
+// a well-defined latency (NaN samples — a faulted measurement, never a
+// healthy run — are excluded rather than propagated). An empty Result
+// yields 0.
 func (r *Result) MeanLatency() float64 {
-	if len(r.Packets) == 0 {
+	lat := r.latencies()
+	if len(lat) == 0 {
 		return 0
 	}
 	sum := 0.0
-	for i := range r.Packets {
-		sum += r.Packets[i].Latency
+	for _, v := range lat {
+		sum += v
 	}
-	return sum / float64(len(r.Packets))
+	return sum / float64(len(lat))
 }
 
-// Percentile returns the p-th (0..100) latency percentile in cycles.
+// Percentile returns the p-th latency percentile in cycles. p is clamped
+// to [0, 100] (Percentile(-5) == Percentile(0) == min, Percentile(250) ==
+// Percentile(100) == max) and ranks between samples interpolate linearly,
+// so p50 of {a, b} is their midpoint rather than a. NaN latency samples
+// are excluded; an empty Result yields 0 and a NaN p yields NaN. The sort
+// behind the ranking runs once per Result and is cached.
 func (r *Result) Percentile(p float64) float64 {
-	if len(r.Packets) == 0 {
+	lat := r.latencies()
+	if len(lat) == 0 {
 		return 0
 	}
-	lat := make([]float64, len(r.Packets))
-	for i := range r.Packets {
-		lat[i] = r.Packets[i].Latency
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
-	sort.Float64s(lat)
-	idx := int(p / 100 * float64(len(lat)-1))
-	return lat[idx]
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(len(lat)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return lat[lo]
+	}
+	frac := rank - float64(lo)
+	return lat[lo] + frac*(lat[hi]-lat[lo])
 }
 
 // MeanLatencyByClass returns per-packet-class mean latencies.

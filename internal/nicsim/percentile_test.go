@@ -1,0 +1,146 @@
+package nicsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// resultWith builds a Result whose packets carry the given latencies.
+func resultWith(lats ...float64) *Result {
+	r := &Result{}
+	for _, l := range lats {
+		r.Packets = append(r.Packets, PacketResult{Latency: l})
+	}
+	return r
+}
+
+// TestPercentileProperties is the hardening contract from the serving PR:
+// Percentile never panics for any finite p, is monotone in p, hits the
+// exact min and max at 0 and 100, and clamps out-of-range p instead of
+// indexing out of bounds.
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	probes := []float64{-5, 0, 37.5, 50, 99, 100, 250, -1e18, 1e18, 1e-9}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		lats := make([]float64, n)
+		for i := range lats {
+			lats[i] = rng.Float64() * 1e6
+		}
+		r := resultWith(lats...)
+		min, max := lats[0], lats[0]
+		for _, l := range lats {
+			min = math.Min(min, l)
+			max = math.Max(max, l)
+		}
+		if got := r.Percentile(0); got != min {
+			t.Fatalf("Percentile(0) = %v, want min %v", got, min)
+		}
+		if got := r.Percentile(100); got != max {
+			t.Fatalf("Percentile(100) = %v, want max %v", got, max)
+		}
+		if got := r.Percentile(-5); got != min {
+			t.Fatalf("Percentile(-5) = %v, want clamp to min %v", got, min)
+		}
+		if got := r.Percentile(250); got != max {
+			t.Fatalf("Percentile(250) = %v, want clamp to max %v", got, max)
+		}
+		prev := math.Inf(-1)
+		for p := -10.0; p <= 110; p += 0.5 {
+			v := r.Percentile(p)
+			if math.IsNaN(v) {
+				t.Fatalf("Percentile(%v) = NaN for finite samples", p)
+			}
+			if v < prev {
+				t.Fatalf("Percentile not monotone: P(%v)=%v < P(%v)=%v", p, v, p-0.5, prev)
+			}
+			if v < min || v > max {
+				t.Fatalf("Percentile(%v)=%v outside [min=%v, max=%v]", p, v, min, max)
+			}
+			prev = v
+		}
+		for _, p := range probes {
+			r.Percentile(p) // must not panic
+		}
+	}
+}
+
+// TestPercentileInterpolates pins the regression the old truncating index
+// had: p50 of two samples returned the min.
+func TestPercentileInterpolates(t *testing.T) {
+	r := resultWith(100, 200)
+	if got := r.Percentile(50); got != 150 {
+		t.Errorf("p50 of {100, 200} = %v, want interpolated 150", got)
+	}
+	r = resultWith(0, 10, 20, 30)
+	if got := r.Percentile(25); got != 7.5 {
+		t.Errorf("p25 of {0,10,20,30} = %v, want 7.5", got)
+	}
+}
+
+// TestPercentileEdgeCases covers the empty, single-sample, NaN-sample and
+// NaN-p paths.
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty Result
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty Result Percentile(50) = %v, want 0", got)
+	}
+	if got := empty.MeanLatency(); got != 0 {
+		t.Errorf("empty Result MeanLatency = %v, want 0", got)
+	}
+
+	one := resultWith(42)
+	for _, p := range []float64{-5, 0, 37.5, 50, 99, 100, 250} {
+		if got := one.Percentile(p); got != 42 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+
+	// NaN samples are dropped, not propagated.
+	mixed := resultWith(10, math.NaN(), 30, math.NaN())
+	if got := mixed.MeanLatency(); got != 20 {
+		t.Errorf("MeanLatency with NaN samples = %v, want 20", got)
+	}
+	if got := mixed.Percentile(50); got != 20 {
+		t.Errorf("Percentile(50) with NaN samples = %v, want 20", got)
+	}
+	if got := mixed.Percentile(100); got != 30 {
+		t.Errorf("Percentile(100) with NaN samples = %v, want 30", got)
+	}
+
+	allNaN := resultWith(math.NaN(), math.NaN())
+	if got := allNaN.Percentile(50); got != 0 {
+		t.Errorf("all-NaN Percentile(50) = %v, want 0", got)
+	}
+	if got := allNaN.MeanLatency(); got != 0 {
+		t.Errorf("all-NaN MeanLatency = %v, want 0", got)
+	}
+
+	if got := one.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Percentile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestPercentileCachedSortIsStable checks that the cached sort serves
+// repeated queries consistently and concurrently (the serve layer queries
+// one shared Result from many goroutines).
+func TestPercentileCachedSortIsStable(t *testing.T) {
+	r := resultWith(5, 1, 4, 2, 3)
+	first := r.Percentile(50)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				if got := r.Percentile(50); got != first {
+					t.Errorf("concurrent Percentile(50) = %v, want %v", got, first)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

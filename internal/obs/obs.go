@@ -366,9 +366,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 }
 
 // upperBound renders bucket i's inclusive upper bound (2^i - 1) as the
-// Prometheus le= value.
+// Prometheus le= value. Bucket 63 (values in [2^62, 2^63-1]) has the finite
+// bound 2^63-1 — rendering it "+Inf" would duplicate the final +Inf bucket
+// line for any histogram holding a sample ≥ 2^62, which is invalid
+// exposition. Bucket 64 is unreachable: observations are non-negative
+// int64s, whose bit length never exceeds 63.
 func upperBound(i int) string {
-	if i >= 63 {
+	if i >= 64 {
 		return "+Inf"
 	}
 	return fmt.Sprintf("%d", (uint64(1)<<uint(i))-1)
@@ -397,9 +401,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i > 0 {
 				lo = float64(uint64(1) << uint(i-1))
 			}
-			hi := float64(uint64(1)<<uint(i)) - 1
-			if i >= 63 {
-				hi = lo * 2
+			// 1<<64 overflows uint64; bucket 64 is unreachable for int64
+			// observations, but keep the guard total.
+			hi := 2 * lo
+			if i < 64 {
+				hi = float64(uint64(1)<<uint(i)) - 1
 			}
 			frac := (rank - float64(cum)) / float64(n)
 			return lo + frac*(hi-lo)

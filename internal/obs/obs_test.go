@@ -210,3 +210,55 @@ func BenchmarkEnabledHistogram(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+// TestHistogramZeroAndNegativeSamples pins the bucketing of the two edge
+// observations: zero lands in bucket 0 (le="0") and negatives clamp to zero
+// rather than wrapping to the top bucket via the uint64 conversion.
+func TestHistogramZeroAndNegativeSamples(t *testing.T) {
+	m := New()
+	h := m.Histogram("edge_nanos")
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.MinInt64)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum = %d, want 0 (negatives clamp)", got)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `edge_nanos_bucket{le="0"} 3`) {
+		t.Errorf("zero/negative samples not all in the le=\"0\" bucket:\n%s", out)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("Quantile(0.5) over zeros = %v, want 0", q)
+	}
+}
+
+// TestHistogramHugeSampleExposition is the regression for the duplicate
+// +Inf bucket: an observation ≥ 2^62 lands in bucket 63, whose le value
+// must be the finite 2^63-1, leaving exactly one le="+Inf" line.
+func TestHistogramHugeSampleExposition(t *testing.T) {
+	m := New()
+	h := m.Histogram("huge_nanos")
+	h.Observe(math.MaxInt64)
+	h.Observe(1)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, `le="+Inf"`); n != 1 {
+		t.Errorf("want exactly one +Inf bucket line, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, `le="9223372036854775807"`) {
+		t.Errorf("bucket 63 should expose its finite bound 2^63-1:\n%s", out)
+	}
+	if q := h.Quantile(1); math.IsNaN(q) || q < 0 {
+		t.Errorf("Quantile(1) with a max-int64 sample = %v", q)
+	}
+}

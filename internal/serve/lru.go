@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small thread-safe least-recently-used cache. It backs both the
+// compiled-NF cache and the result cache: bounded memory under arbitrary
+// query streams matters more to the server than perfect hit rates, and an
+// LRU keyed by content hash gives exactly the "recompiling the same NF is
+// free" behaviour the serving layer promises.
+type lru[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+	// onEvict, when non-nil, observes evictions (metrics).
+	onEvict func(K, V)
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU returns an LRU holding at most capacity entries (capacity < 1 is
+// treated as 1: a degenerate but functional single-slot cache).
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: map[K]*list.Element{},
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru[K, V]) get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[k]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *lru[K, V]) add(k K, v V) {
+	c.mu.Lock()
+	var evicted *lruEntry[K, V]
+	if e, ok := c.items[k]; ok {
+		e.Value.(*lruEntry[K, V]).val = v
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[k] = c.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+		if c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			ent := oldest.Value.(*lruEntry[K, V])
+			delete(c.items, ent.key)
+			evicted = ent
+		}
+	}
+	onEvict := c.onEvict
+	c.mu.Unlock()
+	if evicted != nil && onEvict != nil {
+		onEvict(evicted.key, evicted.val)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,559 @@
+// Package serve is Clara's long-running prediction service: an HTTP front
+// end over the library's ...Context entry points, so a fleet operator can
+// query "how would this NF perform on that SmartNIC under this workload"
+// without recompiling and re-simulating from scratch per question. The
+// ROADMAP's north star is a production system serving heavy query traffic;
+// this layer supplies the serving mechanics the batch CLIs lack:
+//
+//   - caching: compiled NFs live in an LRU keyed by source hash (an NF's
+//     memoized behaviour enumeration rides along, so repeated questions
+//     about one NF skip symbolic execution entirely), and rendered results
+//     live in a second LRU keyed by endpoint + NF hash + target + workload
+//     + budget — a repeated question is answered from memory, byte for
+//     byte identical;
+//   - singleflight: concurrent identical requests share one computation
+//     instead of racing N copies of it;
+//   - bounded concurrency: at most MaxInflight analyses run at once
+//     (each internally parallel via internal/runner), and every request's
+//     timeout and budget are clamped by operator-configured ceilings
+//     (cliutil.RequestContext), so no client can monopolize the box;
+//   - graceful shutdown: Shutdown stops admitting work, drains in-flight
+//     analyses, and past the drain deadline aborts them through the same
+//     cancellation plumbing the CLIs use (typed errors, partial results);
+//   - observability: per-endpoint latency histograms, request/cache/
+//     computation counters and budget-usage gauges on GET /metrics in
+//     Prometheus text format (internal/obs).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"clara"
+	"clara/internal/budget"
+	"clara/internal/cliutil"
+	"clara/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: defaults are
+// documented per field.
+type Config struct {
+	// NFDir, when non-empty, is scanned (non-recursively) for *.nf files at
+	// New; each becomes a named NF clients can reference as {"nf": "name"}
+	// instead of inlining source. GET /v1/nfs lists them.
+	NFDir string
+	// MaxTimeout is the per-request wall-clock ceiling; client timeouts are
+	// clamped to it (default 30s, ≤ 0 keeps the default — a serving layer
+	// never runs unbounded work).
+	MaxTimeout time.Duration
+	// MaxBudget are the per-request resource ceilings; client -budget specs
+	// clamp against them (zero dimensions fall back to the library's safety
+	// defaults).
+	MaxBudget budget.Limits
+	// Parallel is the internal/runner pool width each analysis fans out
+	// with (advise targets, partial cuts); < 1 selects GOMAXPROCS.
+	Parallel int
+	// MaxInflight bounds concurrently executing analyses (not connections);
+	// excess computations queue on the semaphore. < 1 selects
+	// 2×GOMAXPROCS.
+	MaxInflight int
+	// NFCacheSize bounds the compiled-NF LRU (default 128 entries).
+	NFCacheSize int
+	// ResultCacheSize bounds the rendered-result LRU (default 1024
+	// entries).
+	ResultCacheSize int
+	// Metrics receives all server and pipeline metrics; nil creates a
+	// fresh registry (exposed at /metrics either way).
+	Metrics *obs.Metrics
+}
+
+// Server is the HTTP prediction service. Create with New, mount Handler,
+// and call Shutdown to drain. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	usage   *budget.Usage
+
+	// base is the server-lifetime context every computation derives from;
+	// baseCancel is the hard-abort lever Shutdown pulls after the drain
+	// deadline. Computations deliberately do NOT derive from the request
+	// context: a singleflight result is shared across callers and survives
+	// any one client's disconnect (it lands in the cache either way).
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	nfs     *lru[string, *clara.NF]
+	results *lru[string, []byte]
+	flight  flightGroup
+	sem     chan struct{}
+
+	library map[string]string // NF name → source
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	active   int
+	draining bool
+	drained  chan struct{}
+	drainOne sync.Once
+
+	// testComputeGate, when non-nil, runs at the start of every computation
+	// (after semaphore admission); tests use it to pin work in flight.
+	testComputeGate func()
+}
+
+// New builds a Server, loading the NF library from cfg.NFDir when set.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.NFCacheSize < 1 {
+		cfg.NFCacheSize = 128
+	}
+	if cfg.ResultCacheSize < 1 {
+		cfg.ResultCacheSize = 1024
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.New()
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    m,
+		usage:      &budget.Usage{},
+		base:       base,
+		baseCancel: cancel,
+		nfs:        newLRU[string, *clara.NF](cfg.NFCacheSize),
+		results:    newLRU[string, []byte](cfg.ResultCacheSize),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		library:    map[string]string{},
+		drained:    make(chan struct{}),
+	}
+	s.nfs.onEvict = func(string, *clara.NF) {
+		m.Counter("clara_serve_nf_cache_evictions_total").Inc()
+	}
+	s.results.onEvict = func(string, []byte) {
+		m.Counter("clara_serve_result_cache_evictions_total").Inc()
+	}
+	if cfg.NFDir != "" {
+		paths, err := filepath.Glob(filepath.Join(cfg.NFDir, "*.nf"))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimSuffix(filepath.Base(p), ".nf")
+			s.library[name] = string(src)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/advise", s.instrument("advise", s.handleAdvise))
+	mux.Handle("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.Handle("/v1/partial", s.instrument("partial", s.handlePartial))
+	mux.Handle("/v1/nfs", s.instrument("nfs", s.handleNFs))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// AddNF registers (or replaces) a named NF source in the library, as if it
+// had been loaded from NFDir.
+func (s *Server) AddNF(name, source string) {
+	s.mu.Lock()
+	s.library[name] = source
+	s.mu.Unlock()
+}
+
+// Handler returns the server's HTTP handler (mount it on an http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// LibrarySize reports how many named NFs the library holds.
+func (s *Server) LibrarySize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.library)
+}
+
+// Metrics returns the registry the server records into.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Shutdown drains the server: new requests are refused with 503
+// immediately, in-flight analyses run to completion, and if ctx expires
+// first they are hard-aborted through the pipeline's cancellation plumbing
+// (each unwinds with a typed CanceledError and its requester gets a 503).
+// Shutdown returns once no request is active; the error is ctx's when the
+// drain deadline forced an abort. The server cannot be reused afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		s.drainOne.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-s.drained
+		return ctx.Err()
+	}
+}
+
+// enter admits one request unless the server is draining; leave is its
+// mandatory counterpart.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.active--
+	if s.draining && s.active == 0 {
+		s.drainOne.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+}
+
+// Request is the JSON body shared by the three analysis endpoints. Exactly
+// one of NF (a library name, see /v1/nfs) or Source (inline NF dialect)
+// names the function to analyze. Workload uses the CLI spec syntax
+// ("flows=10000,rate=60000,size=300"); Budget and Timeout use the -budget
+// and -timeout syntax and are clamped by the server's ceilings. Target is
+// required by /v1/predict and /v1/partial and ignored by /v1/advise.
+type Request struct {
+	NF       string `json:"nf,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Target   string `json:"target,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Budget   string `json:"budget,omitempty"`
+	Timeout  string `json:"timeout,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// instrument wraps an endpoint with admission control and the per-endpoint
+// metrics: clara_http_requests_total{endpoint,code} and the latency
+// histogram clara_http_request_nanos{endpoint}.
+func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) int) http.Handler {
+	hist := s.metrics.Histogram("clara_http_request_nanos", "endpoint", endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var code int
+		if !s.enter() {
+			code = writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+		} else {
+			code = h(w, r)
+			s.leave()
+		}
+		hist.ObserveSince(start)
+		s.metrics.Counter("clara_http_requests_total",
+			"endpoint", endpoint, "code", strconv.Itoa(code)).Inc()
+	})
+}
+
+func writeError(w http.ResponseWriter, code int, err error) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	return code
+}
+
+func writeBody(w http.ResponseWriter, cache string, body []byte) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Clara-Cache", cache)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return http.StatusOK
+}
+
+// statusFor maps pipeline errors to HTTP codes: tripped budgets are the
+// client's spec being too tight (422), deadlines are 504, a cancellation
+// means the server is aborting work during shutdown (503), internal panics
+// surface as 500, and everything else — unparsable NF source, unknown
+// targets, infeasible mappings, malformed workload specs — is a 400.
+func statusFor(err error) int {
+	var pe *budget.PanicError
+	switch {
+	case errors.Is(err, budget.Exceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decode parses and bounds a request body.
+func decode(r *http.Request, into *Request) error {
+	if r.Method != http.MethodPost {
+		return fmt.Errorf("method %s not allowed; POST a JSON request", r.Method)
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// resolveSource maps a request to concrete NF source text.
+func (s *Server) resolveSource(req *Request) (string, error) {
+	switch {
+	case req.Source != "" && req.NF != "":
+		return "", errors.New(`give either "nf" (a library name) or "source", not both`)
+	case req.Source != "":
+		return req.Source, nil
+	case req.NF != "":
+		s.mu.Lock()
+		src, ok := s.library[req.NF]
+		s.mu.Unlock()
+		if !ok {
+			return "", fmt.Errorf("unknown NF %q; GET /v1/nfs lists the library", req.NF)
+		}
+		return src, nil
+	default:
+		return "", errors.New(`request needs "nf" (a library name) or "source" (inline NF dialect)`)
+	}
+}
+
+// compiledNF returns the cached compiled NF for a source hash, compiling on
+// miss. A cached NF carries its memoized behaviour enumeration and
+// annotated-graph cache, which is most of a repeated analysis's cost.
+func (s *Server) compiledNF(hash, source string) (*clara.NF, error) {
+	if nf, ok := s.nfs.get(hash); ok {
+		s.metrics.Counter("clara_serve_nf_cache_hits_total").Inc()
+		return nf, nil
+	}
+	s.metrics.Counter("clara_serve_nf_cache_misses_total").Inc()
+	nf, err := clara.CompileNF(source)
+	if err != nil {
+		return nil, err
+	}
+	s.nfs.add(hash, nf)
+	return nf, nil
+}
+
+// analyze is the shared request path behind the three analysis endpoints:
+// resolve + hash the NF, consult the result cache, and on a miss run
+// compute under singleflight, bounded concurrency, and the clamped
+// per-request context, caching the rendered body on success.
+func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string,
+	compute func(ctx context.Context, nf *clara.NF, req *Request) (any, error)) int {
+
+	var req Request
+	if err := decode(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	source, err := s.resolveSource(&req)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	sum := sha256.Sum256([]byte(source))
+	hash := hex.EncodeToString(sum[:])
+	key := strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget}, "\x00")
+
+	if body, ok := s.results.get(key); ok {
+		s.metrics.Counter("clara_serve_cache_hits_total", "endpoint", endpoint).Inc()
+		return writeBody(w, "hit", body)
+	}
+	s.metrics.Counter("clara_serve_cache_misses_total", "endpoint", endpoint).Inc()
+
+	body, err, shared := s.flight.do(key, func() ([]byte, error) {
+		// Bounded concurrency: at most MaxInflight computations execute;
+		// the rest queue here unless the server is already aborting.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.base.Done():
+			return nil, &budget.CanceledError{Stage: "serve", Err: s.base.Err()}
+		}
+		defer func() { <-s.sem }()
+
+		if s.testComputeGate != nil {
+			s.testComputeGate()
+		}
+		nf, err := s.compiledNF(hash, source)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel, err := cliutil.RequestContext(s.base, req.Timeout, req.Budget, s.cfg.MaxTimeout, s.cfg.MaxBudget)
+		if err != nil {
+			return nil, err
+		}
+		defer cancel()
+		ctx = obs.With(ctx, s.metrics)
+		ctx = budget.WithUsage(ctx, s.usage)
+
+		s.metrics.Counter("clara_serve_computations_total", "endpoint", endpoint).Inc()
+		out, err := compute(ctx, nf, &req)
+		if err != nil {
+			return nil, err
+		}
+		rendered, err := json.Marshal(out)
+		if err != nil {
+			return nil, &budget.PanicError{Stage: "serve", NF: nf.Name(), Value: err}
+		}
+		s.results.add(key, rendered)
+		return rendered, nil
+	})
+	if shared {
+		s.metrics.Counter("clara_serve_singleflight_shared_total", "endpoint", endpoint).Inc()
+	}
+	if err != nil {
+		return writeError(w, statusFor(err), err)
+	}
+	cacheState := "miss"
+	if shared {
+		cacheState = "shared"
+	}
+	return writeBody(w, cacheState, body)
+}
+
+type adviseResponse struct {
+	NF       string         `json:"nf"`
+	Workload string         `json:"workload"`
+	Advice   []clara.Advice `json:"advice"`
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) int {
+	return s.analyze(w, r, "advise", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+		wl, err := clara.ParseWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		advice, err := clara.AdviseContext(ctx, nf, wl, s.cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		return adviseResponse{NF: nf.Name(), Workload: req.Workload, Advice: advice}, nil
+	})
+}
+
+type predictResponse struct {
+	NF         string            `json:"nf"`
+	Target     string            `json:"target"`
+	Workload   string            `json:"workload"`
+	Prediction *clara.Prediction `json:"prediction"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	return s.analyze(w, r, "predict", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+		t, err := clara.NewTarget(req.Target)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := clara.ParseWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := nf.PredictContext(ctx, t, wl, clara.Hints{})
+		if err != nil {
+			return nil, err
+		}
+		return predictResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Prediction: pred}, nil
+	})
+}
+
+type partialResponse struct {
+	NF       string                 `json:"nf"`
+	Target   string                 `json:"target"`
+	Workload string                 `json:"workload"`
+	Analysis *clara.PartialAnalysis `json:"analysis"`
+}
+
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) int {
+	return s.analyze(w, r, "partial", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+		t, err := clara.NewTarget(req.Target)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := clara.ParseWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		an, err := clara.AnalyzePartialContext(ctx, nf, t, wl, clara.DefaultPCIe(), s.cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		return partialResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Analysis: an}, nil
+	})
+}
+
+// NFInfo describes one library NF in GET /v1/nfs.
+type NFInfo struct {
+	Name  string `json:"name"`
+	Hash  string `json:"hash"`
+	Bytes int    `json:"bytes"`
+}
+
+type nfsResponse struct {
+	NFs     []NFInfo `json:"nfs"`
+	Targets []string `json:"targets"`
+}
+
+func (s *Server) handleNFs(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+	}
+	s.mu.Lock()
+	infos := make([]NFInfo, 0, len(s.library))
+	for name, src := range s.library {
+		sum := sha256.Sum256([]byte(src))
+		infos = append(infos, NFInfo{Name: name, Hash: hex.EncodeToString(sum[:]), Bytes: len(src)})
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	body, err := json.Marshal(nfsResponse{NFs: infos, Targets: clara.Targets()})
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	return writeBody(w, "none", body)
+}
+
+// handleMetrics exports the registry in Prometheus text format, refreshing
+// the budget-usage and cache-size gauges at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.usage.Snapshot(s.cfg.MaxBudget)
+	s.metrics.Gauge("clara_budget_symexec_steps").Set(snap.SymExecSteps)
+	s.metrics.Gauge("clara_budget_symexec_paths").Set(snap.SymExecPaths)
+	s.metrics.Gauge("clara_budget_sim_steps").Set(snap.SimSteps)
+	s.metrics.Gauge("clara_budget_sim_events").Set(snap.SimEvents)
+	s.metrics.Gauge("clara_budget_trace_packets").Set(snap.TracePackets)
+	s.metrics.Gauge("clara_serve_nf_cache_entries").Set(int64(s.nfs.len()))
+	s.metrics.Gauge("clara_serve_result_cache_entries").Set(int64(s.results.len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

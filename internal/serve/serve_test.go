@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clara/internal/budget"
+)
+
+const firewallSrc = `nf firewall {
+	state conns : map<13, 8>[65536];
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		var k = flow_key();
+		if (map_lookup(conns, k)) {
+			emit(0);
+			return pass;
+		}
+		if (parse(tcp) && (field(tcp, flags) & 0x02)) {
+			map_put(conns, k, 1, 0);
+			emit(0);
+			return pass;
+		}
+		return drop;
+	}
+}`
+
+const testWorkload = "flows=1000,rate=60000,size=300"
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddNF("firewall", firewallSrc)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, req Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestAdviseCacheHitIsByteIdenticalAndFree is the acceptance criterion: the
+// second identical request is served from the result cache — zero
+// additional computations (the counter-based stand-in for the ≥10x wall
+// clock claim: a map lookup versus a full enumerate+map+predict sweep) —
+// and its body is byte-identical to the cold response.
+func TestAdviseCacheHitIsByteIdenticalAndFree(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := Request{NF: "firewall", Workload: testWorkload}
+
+	resp1, body1 := post(t, ts.URL+"/v1/advise", req)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("cold advise: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Clara-Cache"); got != "miss" {
+		t.Errorf("cold response X-Clara-Cache = %q, want miss", got)
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/advise", req)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("warm advise: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Clara-Cache"); got != "hit" {
+		t.Errorf("warm response X-Clara-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache hit body differs from cold body:\n%s\nvs\n%s", body1, body2)
+	}
+	if n := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "advise").Value(); n != 1 {
+		t.Errorf("computations after 2 identical requests = %d, want 1", n)
+	}
+	if n := s.Metrics().Counter("clara_serve_cache_hits_total", "endpoint", "advise").Value(); n != 1 {
+		t.Errorf("cache hits = %d, want 1", n)
+	}
+	if n := s.Metrics().Counter("clara_serve_cache_misses_total", "endpoint", "advise").Value(); n != 1 {
+		t.Errorf("cache misses = %d, want 1", n)
+	}
+
+	var parsed adviseResponse
+	if err := json.Unmarshal(body1, &parsed); err != nil {
+		t.Fatalf("advise body not JSON: %v", err)
+	}
+	if parsed.NF != "firewall" || len(parsed.Advice) == 0 {
+		t.Errorf("advise response: %+v", parsed)
+	}
+}
+
+// TestSingleflightCollapsesConcurrentRequests holds the one real
+// computation at a barrier while N identical requests pile up, then
+// releases it: every response must come from that single computation.
+func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.testComputeGate = func() { <-gate }
+
+	const n = 6
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+		codes  []int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+			mu.Lock()
+			bodies = append(bodies, body)
+			codes = append(codes, resp.StatusCode)
+			mu.Unlock()
+		}()
+	}
+	// Release the barrier only once every request has joined the flight
+	// (leader + n-1 duplicates); polling admission alone would race a slow
+	// joiner against the leader finishing and removing the flight entry.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flight.waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests joined the flight", s.flight.waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != 200 {
+			t.Fatalf("request %d: status %d (%s)", i, c, bodies[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("request %d body differs under singleflight", i)
+		}
+	}
+	if got := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "advise").Value(); got != 1 {
+		t.Errorf("computations for %d concurrent identical requests = %d, want 1", n, got)
+	}
+}
+
+// TestShutdownDrains checks the shutdown contract: draining refuses new
+// work with 503, in-flight work completes with 200, and Shutdown returns
+// only after it has.
+func TestShutdownDrains(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.testComputeGate = func() { <-gate }
+
+	inflightDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+		inflightDone <- resp.StatusCode
+	}()
+	// Wait for the request to be admitted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		active := s.active
+		s.mu.Unlock()
+		if active > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+
+	// New work is refused while draining.
+	refusedDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := post(t, ts.URL+"/v1/nfs", Request{})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(refusedDeadline) {
+			t.Fatal("draining server still admits new requests")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v while a request was still in flight", err)
+	default:
+	}
+
+	close(gate)
+	if code := <-inflightDone; code != 200 {
+		t.Errorf("in-flight request during drain got %d, want 200", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown = %v, want nil (clean drain)", err)
+	}
+}
+
+// TestShutdownAbortsPastDeadline: when the drain context expires, in-flight
+// analyses are cancelled through the budget plumbing and their requesters
+// get an error status, but Shutdown still returns. The gate blocks the
+// computation on the server's base context, so it can only proceed once the
+// hard abort has fired — the drain deadline is guaranteed to trip.
+func TestShutdownAbortsPastDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.testComputeGate = func() { <-s.base.Done() }
+
+	inflightDone := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+		inflightDone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		active := s.active
+		s.mu.Unlock()
+		if active > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown = %v, want context.DeadlineExceeded (drain deadline forced the abort)", err)
+	}
+	if code := <-inflightDone; code != http.StatusServiceUnavailable {
+		t.Errorf("aborted in-flight request got %d, want 503", code)
+	}
+}
+
+// TestPredictAndPartialEndpoints smoke-tests the other two analysis
+// endpoints, target validation included.
+func TestPredictAndPartialEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := post(t, ts.URL+"/v1/predict",
+		Request{NF: "firewall", Target: "netronome", Workload: testWorkload})
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Prediction == nil || pr.Prediction.MeanNanos <= 0 {
+		t.Errorf("implausible prediction: %+v", pr.Prediction)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/partial",
+		Request{NF: "firewall", Target: "netronome", Workload: testWorkload})
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial: %d %s", resp.StatusCode, body)
+	}
+	var par partialResponse
+	if err := json.Unmarshal(body, &par); err != nil {
+		t.Fatal(err)
+	}
+	if par.Analysis == nil || len(par.Analysis.Cuts) == 0 {
+		t.Errorf("empty partial analysis: %s", body)
+	}
+
+	// Unknown target is a 400, not a cache entry.
+	resp, _ = post(t, ts.URL+"/v1/predict",
+		Request{NF: "firewall", Target: "no-such-nic", Workload: testWorkload})
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown target: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRequestValidation covers the 4xx paths.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  Request
+		want int
+	}{
+		{"no nf or source", Request{Workload: testWorkload}, 400},
+		{"both nf and source", Request{NF: "firewall", Source: firewallSrc}, 400},
+		{"unknown library nf", Request{NF: "nope", Workload: testWorkload}, 400},
+		{"bad source", Request{Source: "nf broken {", Workload: testWorkload}, 400},
+		{"bad workload", Request{NF: "firewall", Workload: "size=-3"}, 400},
+		{"bad budget spec", Request{NF: "firewall", Workload: testWorkload, Budget: "nope=1"}, 400},
+		{"bad timeout spec", Request{NF: "firewall", Workload: testWorkload, Timeout: "later"}, 400},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/v1/advise", c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.want, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error envelope", c.name, body)
+		}
+	}
+	// GET on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("GET /v1/advise: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBudgetCeilingClamp: a request asking for a looser budget than the
+// server ceiling still trips at the ceiling (422).
+func TestBudgetCeilingClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBudget: budget.Limits{SymExecSteps: 1}})
+	resp, body := post(t, ts.URL+"/v1/advise",
+		Request{NF: "firewall", Workload: testWorkload, Budget: "symsteps=1000000000"})
+	if resp.StatusCode != 422 {
+		t.Fatalf("over-ceiling request: %d %s, want 422", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "budget") {
+		t.Errorf("422 body should name the tripped budget: %s", body)
+	}
+}
+
+// TestNFsEndpointAndMetrics: the library listing and the Prometheus
+// exposition carry the advertised series.
+func TestNFsEndpointAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/nfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/nfs: %d", resp.StatusCode)
+	}
+	var nl nfsResponse
+	if err := json.Unmarshal(body, &nl); err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.NFs) != 1 || nl.NFs[0].Name != "firewall" || nl.NFs[0].Hash == "" {
+		t.Errorf("library listing: %s", body)
+	}
+	if len(nl.Targets) == 0 {
+		t.Errorf("no targets listed: %s", body)
+	}
+
+	// Generate one request so endpoint metrics exist, then scrape.
+	post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`clara_http_request_nanos_bucket{endpoint="advise"`,
+		`clara_http_requests_total{`,
+		`clara_serve_cache_misses_total{endpoint="advise"} 1`,
+		`clara_serve_computations_total{endpoint="advise"} 1`,
+		"clara_serve_nf_cache_entries",
+		"clara_serve_result_cache_entries",
+		"clara_stage_nanos",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestResultCacheEviction: a result cache of size 1 evicts and recomputes.
+func TestResultCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{ResultCacheSize: 1})
+	wl2 := "flows=2000,rate=60000,size=300"
+
+	post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+	post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: wl2}) // evicts the first
+	post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+
+	if n := s.Metrics().Counter("clara_serve_result_cache_evictions_total").Value(); n < 1 {
+		t.Errorf("evictions = %d, want ≥ 1", n)
+	}
+	if n := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "advise").Value(); n != 3 {
+		t.Errorf("computations = %d, want 3 (every request missed a size-1 cache)", n)
+	}
+	// The compiled NF survived the result-cache churn: one compile only.
+	if n := s.Metrics().Counter("clara_serve_nf_cache_misses_total").Value(); n != 1 {
+		t.Errorf("NF compiles = %d, want 1 (NF cache is independent of result cache)", n)
+	}
+}
+
+// TestInlineSourceRequests: source-carrying requests work and share the
+// compiled-NF cache with identical sources.
+func TestInlineSourceRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := Request{Source: firewallSrc, Workload: testWorkload}
+	resp, body := post(t, ts.URL+"/v1/advise", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("inline source advise: %d %s", resp.StatusCode, body)
+	}
+	// The same source via the library name is the same NF hash — the
+	// compiled-NF cache must hit even though the result key differs only in
+	// endpoint inputs.
+	resp, body = post(t, ts.URL+"/v1/predict",
+		Request{NF: "firewall", Target: "netronome", Workload: testWorkload})
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict after inline advise: %d %s", resp.StatusCode, body)
+	}
+	if n := s.Metrics().Counter("clara_serve_nf_cache_hits_total").Value(); n != 1 {
+		t.Errorf("NF cache hits = %d, want 1 (same source hash across endpoints)", n)
+	}
+}
+
+func ExampleServer() {
+	s, err := New(Config{})
+	if err != nil {
+		panic(err)
+	}
+	s.AddNF("firewall", firewallSrc)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(b))
+	// Output: ok
+}
