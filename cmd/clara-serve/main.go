@@ -1,0 +1,102 @@
+// Command clara-serve runs Clara as a long-lived prediction service: an
+// HTTP API over the analysis pipeline with compiled-NF and result caching,
+// singleflight deduplication, per-request budget/timeout ceilings and
+// Prometheus metrics:
+//
+//	clara-serve -addr :8080 -nfdir examples
+//	curl -s localhost:8080/v1/nfs
+//	curl -s -X POST localhost:8080/v1/advise \
+//	  -d '{"nf":"firewall","workload":"flows=10000,rate=60000,size=300"}'
+//
+// Endpoints: POST /v1/advise, /v1/predict, /v1/partial (JSON bodies, see
+// README "clara-serve"), GET /v1/nfs, /metrics, /healthz. SIGINT/SIGTERM
+// triggers a graceful drain: in-flight analyses finish (up to
+// -drain-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clara/internal/budget"
+	"clara/internal/cliutil"
+	"clara/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clara-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		nfdir       = flag.String("nfdir", "", "directory of *.nf files served as the named-NF library")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "per-request wall-clock ceiling; client timeouts are clamped to this")
+		maxBudget   = flag.String("max-budget", "", "per-request resource ceiling, same syntax as -budget: "+cliutil.BudgetFlagDoc)
+		parallel    = flag.Int("parallel", 0, "worker-pool width inside each analysis (default GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent analyses admitted (default 2x GOMAXPROCS)")
+		nfCache     = flag.Int("nf-cache", 128, "compiled-NF LRU capacity")
+		resultCache = flag.Int("result-cache", 1024, "result LRU capacity")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "how long a shutdown waits for in-flight analyses before aborting them")
+	)
+	flag.Parse()
+
+	ceiling := budget.Limits{}
+	if *maxBudget != "" {
+		var err error
+		if ceiling, err = budget.Parse(*maxBudget); err != nil {
+			return err
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		NFDir:           *nfdir,
+		MaxTimeout:      *maxTimeout,
+		MaxBudget:       ceiling,
+		Parallel:        *parallel,
+		MaxInflight:     *maxInflight,
+		NFCacheSize:     *nfCache,
+		ResultCacheSize: *resultCache,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "clara-serve: draining...")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Drain the analysis layer first (in-flight work completes or is
+		// aborted at the deadline), then close the HTTP listener.
+		derr := srv.Shutdown(dctx)
+		if herr := hs.Shutdown(dctx); derr == nil {
+			derr = herr
+		}
+		shutdownErr <- derr
+	}()
+
+	fmt.Printf("clara-serve: listening on %s (library: %d NFs)\n", *addr, srv.LibrarySize())
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("clara-serve: drained cleanly")
+	return nil
+}

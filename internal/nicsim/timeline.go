@@ -88,7 +88,10 @@ func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
 	}
 	toUS := func(cycles float64) float64 { return cycles / (clock * 1e3) }
 
-	type lane struct{ stage string; unit int }
+	type lane struct {
+		stage string
+		unit  int
+	}
 	laneID := map[lane]int{}
 	var laneOrder []lane
 	for _, h := range tl.Hops {

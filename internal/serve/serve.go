@@ -8,9 +8,9 @@
 //   - caching: compiled NFs live in an LRU keyed by source hash (an NF's
 //     memoized behaviour enumeration rides along, so repeated questions
 //     about one NF skip symbolic execution entirely), and rendered results
-//     live in a second LRU keyed by endpoint + NF hash + target + workload
-//     + budget — a repeated question is answered from memory, byte for
-//     byte identical;
+//     live in a second LRU keyed by endpoint + NF hash + target +
+//     workload + budget — a repeated question is answered from memory,
+//     byte for byte identical;
 //   - singleflight: concurrent identical requests share one computation
 //     instead of racing N copies of it;
 //   - bounded concurrency: at most MaxInflight analyses run at once
@@ -275,8 +275,11 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		if !s.enter() {
 			code = writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
 		} else {
+			// leave is deferred so the active count is released even if the
+			// handler panics (net/http recovers per connection); otherwise
+			// Shutdown's active==0 drain condition could never be met.
+			defer s.leave()
 			code = h(w, r)
-			s.leave()
 		}
 		hist.ObserveSince(start)
 		s.metrics.Counter("clara_http_requests_total",
@@ -385,6 +388,12 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	sum := sha256.Sum256([]byte(source))
 	hash := hex.EncodeToString(sum[:])
 	key := strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget}, "\x00")
+	// The computation runs under the flight leader's clamped deadline, so
+	// sharing is scoped to requests with an identical timeout spec — a
+	// generous request must not inherit a 504 from a 1ms leader. The result
+	// cache stays timeout-agnostic: a rendered body is valid for any
+	// deadline, whichever flight produced it.
+	flightKey := key + "\x00" + req.Timeout
 
 	if body, ok := s.results.get(key); ok {
 		s.metrics.Counter("clara_serve_cache_hits_total", "endpoint", endpoint).Inc()
@@ -392,7 +401,7 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	}
 	s.metrics.Counter("clara_serve_cache_misses_total", "endpoint", endpoint).Inc()
 
-	body, err, shared := s.flight.do(key, func() ([]byte, error) {
+	body, err, shared := s.flight.do(flightKey, func() ([]byte, error) {
 		// Bounded concurrency: at most MaxInflight computations execute;
 		// the rest queue here unless the server is already aborting.
 		select {

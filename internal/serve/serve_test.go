@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -162,6 +163,99 @@ func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
 	}
 	if got := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "advise").Value(); got != 1 {
 		t.Errorf("computations for %d concurrent identical requests = %d, want 1", n, got)
+	}
+}
+
+// TestTimeoutScopesFlightSharing: concurrent requests that differ only in
+// their timeout spec must NOT share a flight — the computation runs under
+// the leader's clamped deadline, so a generous request joining a 1ns
+// leader would inherit its DeadlineExceeded. With timeout in the flight
+// key, both run (the gate counter proves two computations entered), the
+// tight one gets 504 and the generous one still succeeds.
+func TestTimeoutScopesFlightSharing(t *testing.T) {
+	var entered atomic.Int32
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.testComputeGate = func() { entered.Add(1); <-gate }
+
+	tight := make(chan int, 1)
+	loose := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/advise",
+			Request{NF: "firewall", Workload: testWorkload, Timeout: "1ns"})
+		tight <- resp.StatusCode
+	}()
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/advise",
+			Request{NF: "firewall", Workload: testWorkload})
+		loose <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for entered.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/2 computations started: different timeouts shared one flight", entered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	if code := <-tight; code != http.StatusGatewayTimeout {
+		t.Errorf("1ns-timeout request got %d, want 504", code)
+	}
+	if code := <-loose; code != http.StatusOK {
+		t.Errorf("generous request got %d, want 200 (must not inherit the tight leader's deadline)", code)
+	}
+	if n := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "advise").Value(); n != 2 {
+		t.Errorf("computations = %d, want 2 (one per timeout spec)", n)
+	}
+}
+
+// TestPanicReleasesActiveCount: a handler panic (recovered per-connection
+// by net/http) must still decrement the active counter and clean up its
+// flight entry, or Shutdown's drain would block forever and any later
+// identical request would join a dead flight.
+func TestPanicReleasesActiveCount(t *testing.T) {
+	var fired atomic.Bool
+	s, ts := newTestServer(t, Config{})
+	s.testComputeGate = func() {
+		if fired.CompareAndSwap(false, true) {
+			panic("boom")
+		}
+	}
+
+	// The panicking request fails at the transport level: the server
+	// recovers the panic and aborts the connection.
+	body, err := json.Marshal(Request{NF: "firewall", Workload: testWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/advise", "application/json", bytes.NewReader(body))
+	if err == nil {
+		resp.Body.Close()
+	}
+
+	// The flight entry was removed despite the panic: an identical request
+	// computes fresh instead of joining a dead flight.
+	resp2, body2 := post(t, ts.URL+"/v1/advise", Request{NF: "firewall", Workload: testWorkload})
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("request after panic got %d (%s), want 200", resp2.StatusCode, body2)
+	}
+
+	// The active count was released despite the panic: Shutdown drains
+	// promptly instead of waiting on a request that will never leave.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Shutdown = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown deadlocked: panicked handler leaked the active count")
 	}
 }
 

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent identical computations: while one
 // caller runs fn for a key, later callers with the same key block and share
@@ -38,12 +41,22 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, err
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// Cleanup is deferred so a panicking fn still removes the flight and
+	// releases joiners — otherwise later identical requests would join a
+	// flight that never completes. The panic propagates to the leader;
+	// joiners see an error rather than a silent nil result.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errors.New("singleflight: computation panicked")
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	completed = true
 	return c.val, c.err, false
 }
 
