@@ -1,0 +1,65 @@
+package clara
+
+import (
+	"testing"
+
+	"clara/internal/lnic"
+	"clara/internal/nf"
+	"clara/internal/nicsim"
+	"clara/internal/workload"
+)
+
+// simRunFixture builds the steady-state simulator fixture shared by
+// BenchmarkSimRun and TestAllocBudget: one reusable Sim (timeline and fault
+// injection off) and a trace whose decode cache is already warm, so
+// measurements see the per-packet hot path rather than one-time setup.
+func simRunFixture(tb testing.TB) (*nicsim.Sim, *workload.Trace) {
+	tb.Helper()
+	spec := nf.Firewall(65536)
+	prog := spec.MustCompile()
+	nic := lnic.Netronome()
+	sim, err := nicsim.New(nicsim.Config{
+		NIC: nic, Prog: prog, Place: nicsim.DefaultPlacement(nic, prog),
+		Preload: spec.PreloadEntries, Seed: 11,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prof := workload.DefaultProfile()
+	prof.Packets = 512
+	prof.Flows = 64
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr.Decoded()
+	return sim, tr
+}
+
+// TestAllocBudget enforces the hot path's allocation contract (DESIGN.md
+// "Hot path"): with timeline and faults off, a steady-state simulator run
+// stays within 2 allocations per packet. The real figure is a small per-run
+// constant (Result, interpreter, exec scratch) amortized over the trace —
+// well under the budget — so this trips on any per-packet regression (a
+// fresh exec, per-vcall argument slices, per-packet decode) long before it
+// reaches 2/packet.
+func TestAllocBudget(t *testing.T) {
+	sim, tr := simRunFixture(t)
+	// One warm run fills flow tables and lazy server pools so the measured
+	// runs are steady-state.
+	if _, err := sim.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	perRun := testing.AllocsPerRun(10, func() {
+		if _, err := sim.Run(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPacket := perRun / float64(len(tr.Packets))
+	t.Logf("sim hot path: %.1f allocs/run, %.4f allocs/packet over %d packets",
+		perRun, perPacket, len(tr.Packets))
+	if perPacket > 2 {
+		t.Errorf("steady-state simulator allocates %.4f per packet (%.1f per run), budget is 2",
+			perPacket, perRun)
+	}
+}

@@ -264,6 +264,26 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRun measures the simulator hot path in steady state: one Sim
+// reused across iterations, trace decode cache warmed, timeline and fault
+// injection off. bench_guard pins both ns/op and allocs/op for this
+// benchmark (testdata/bench_baseline.json); see DESIGN.md "Hot path" before
+// re-baselining.
+func BenchmarkSimRun(b *testing.B) {
+	sim, tr := simRunFixture(b)
+	if _, err := sim.Run(tr); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(tr.Packets)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPartial regenerates the §6 partial-offloading cut sweep.
 func BenchmarkPartial(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -35,6 +35,8 @@ func run() (err error) {
 	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
 	metricsSpec := flag.String("metrics", "", cliutil.MetricsFlagDoc)
+	cpuProfile := flag.String("cpuprofile", "", cliutil.CPUProfileFlagDoc)
+	memProfile := flag.String("memprofile", "", cliutil.MemProfileFlagDoc)
 	flag.Parse()
 
 	ctx, cancel, err := cliutil.Context(*timeout, *budgetSpec)
@@ -42,6 +44,15 @@ func run() (err error) {
 		return err
 	}
 	defer cancel()
+	stopProfile, err := cliutil.Profile(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfile(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	ctx, flushMetrics, err := cliutil.Metrics(ctx, *metricsSpec)
 	if err != nil {
 		return err

@@ -13,6 +13,9 @@ import (
 type Env interface {
 	// VCall executes the vcall with evaluated arguments, returning the
 	// result value (ignored when the instruction has no destination).
+	// args is a scratch buffer owned by the interpreter and reused across
+	// calls: it is valid only for the duration of the call, and
+	// implementations must copy it if they need the values afterwards.
 	VCall(in Instr, args []uint64) (uint64, error)
 }
 
@@ -41,10 +44,19 @@ const ctxPollMask = 2047
 // scratch memory are re-zeroed on each Run, while Env-held state (flow
 // tables) persists, matching NF semantics where per-packet locals are fresh
 // but state is durable.
+//
+// Allocation contract: a Run performs no heap allocations of its own — the
+// register file, scratch memory and the vcall argument buffer are all sized
+// at NewInterp — so the simulator's per-packet loop stays allocation-free.
+// Anything the Env allocates inside VCall is outside this contract.
 type Interp struct {
 	prog    *Program
 	regs    []uint64
 	scratch []byte
+	// argbuf is the reusable vcall argument scratch, sized at NewInterp to
+	// the program's widest vcall. Env implementations see argbuf[:arity]
+	// and must not retain it (see Env).
+	argbuf []uint64
 }
 
 // ErrStepLimit reports a runaway execution.
@@ -52,17 +64,32 @@ var ErrStepLimit = errors.New("cir: step limit exceeded")
 
 // NewInterp prepares an interpreter for p.
 func NewInterp(p *Program) *Interp {
+	maxArity := 0
+	for bi := range p.Blocks {
+		for ii := range p.Blocks[bi].Instrs {
+			if in := &p.Blocks[bi].Instrs[ii]; in.Op == OpVCall && len(in.Args) > maxArity {
+				maxArity = len(in.Args)
+			}
+		}
+	}
 	return &Interp{
 		prog:    p,
 		regs:    make([]uint64, p.NumRegs),
 		scratch: make([]byte, p.ScratchBytes),
+		argbuf:  make([]uint64, maxArity),
 	}
 }
 
 // Reg returns the current value of a register (for tests).
 func (it *Interp) Reg(r Reg) uint64 { return it.regs[r] }
 
-// Run executes the program for one packet and returns the verdict.
+// Run executes the program for one packet and returns the verdict. The
+// inner loop is chosen once per Run: when no hooks observe execution (no
+// OnInstr/OnBlock callbacks and no cancellation context) a specialized loop
+// skips the per-instruction hook and poll checks entirely; otherwise the
+// full hooked loop runs, preserving the ctxPollMask cancellation contract.
+// Both loops count steps identically, so MaxSteps trips at the same point
+// either way.
 func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 	for i := range it.regs {
 		it.regs[i] = 0
@@ -74,6 +101,56 @@ func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 	if h != nil && h.MaxSteps > 0 {
 		maxSteps = h.MaxSteps
 	}
+	if h == nil || (h.OnInstr == nil && h.OnBlock == nil && h.Ctx == nil) {
+		return it.runFast(env, maxSteps)
+	}
+	return it.runHooked(env, h, maxSteps)
+}
+
+// runFast is the hook-free inner loop: identical semantics and step
+// accounting to runHooked, minus the per-step hook and context checks the
+// static-hooks case never needs.
+func (it *Interp) runFast(env Env, maxSteps int) (uint64, error) {
+	steps := 0
+	bi := 0
+	for {
+		steps++
+		if steps > maxSteps {
+			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
+		}
+		blk := &it.prog.Blocks[bi]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			steps++
+			if steps > maxSteps {
+				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
+			}
+			if err := it.step(in, env); err != nil {
+				return 0, fmt.Errorf("cir: block %d %q: %w", bi, in.String(), err)
+			}
+		}
+		t := blk.Term
+		switch t.Kind {
+		case TermJump:
+			bi = t.Then
+		case TermBranch:
+			if it.regs[t.Cond] != 0 {
+				bi = t.Then
+			} else {
+				bi = t.Else
+			}
+		case TermReturn:
+			if t.Ret == NoReg {
+				return VerdictPass, nil
+			}
+			return it.regs[t.Ret], nil
+		}
+	}
+}
+
+// runHooked is the observed inner loop, running hooks and polling the
+// context exactly as Hooks documents.
+func (it *Interp) runHooked(env Env, h *Hooks, maxSteps int) (uint64, error) {
 	steps := 0
 	bi := 0
 	for {
@@ -84,12 +161,12 @@ func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 		if steps > maxSteps {
 			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
 		}
-		if h != nil && h.Ctx != nil && steps&ctxPollMask == 0 {
+		if h.Ctx != nil && steps&ctxPollMask == 0 {
 			if err := h.Ctx.Err(); err != nil {
 				return 0, fmt.Errorf("cir: %s interrupted: %w", it.prog.Name, err)
 			}
 		}
-		if h != nil && h.OnBlock != nil {
+		if h.OnBlock != nil {
 			h.OnBlock(bi)
 		}
 		blk := &it.prog.Blocks[bi]
@@ -99,12 +176,12 @@ func (it *Interp) Run(env Env, h *Hooks) (uint64, error) {
 			if steps > maxSteps {
 				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, it.prog.Name)
 			}
-			if h != nil && h.Ctx != nil && steps&ctxPollMask == 0 {
+			if h.Ctx != nil && steps&ctxPollMask == 0 {
 				if err := h.Ctx.Err(); err != nil {
 					return 0, fmt.Errorf("cir: %s interrupted: %w", it.prog.Name, err)
 				}
 			}
-			if h != nil && h.OnInstr != nil {
+			if h.OnInstr != nil {
 				h.OnInstr(bi, in)
 			}
 			if err := it.step(in, env); err != nil {
@@ -198,7 +275,9 @@ func (it *Interp) step(in *Instr, env Env) error {
 	case OpStore:
 		return it.storeScratch(arg(0), arg(1), in.Size)
 	case OpVCall:
-		args := make([]uint64, len(in.Args))
+		// The argument buffer is interpreter-owned scratch: sized once at
+		// NewInterp, resliced per call, never retained by the Env.
+		args := it.argbuf[:len(in.Args)]
 		for i := range in.Args {
 			args[i] = arg(i)
 		}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -23,6 +25,64 @@ const TimeoutFlagDoc = "wall-clock limit for the whole run, e.g. 30s (0 = none)"
 
 // MetricsFlagDoc documents the -metrics flag once for all commands.
 const MetricsFlagDoc = `write Prometheus text-format metrics here at exit ("-" = stdout)`
+
+// CPUProfileFlagDoc documents the -cpuprofile flag once for all commands.
+const CPUProfileFlagDoc = "write a pprof CPU profile here for the whole run"
+
+// MemProfileFlagDoc documents the -memprofile flag once for all commands.
+const MemProfileFlagDoc = "write a pprof heap profile here at exit"
+
+// Profile wires the -cpuprofile/-memprofile flags: it starts CPU profiling
+// immediately when cpuPath is non-empty and returns a stop func that ends the
+// CPU profile and, when memPath is non-empty, writes a GC-settled heap
+// profile. Either path may be empty; with both empty the returned stop is a
+// no-op. Output files are created eagerly so a bad path fails before the run
+// burns any work. stop must be called exactly once, normally via defer.
+func Profile(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	var memFile *os.File
+	if memPath != "" {
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if cerr := cpuFile.Close(); cerr != nil {
+				first = cerr
+			}
+		}
+		if memFile != nil {
+			// Settle the heap so the profile shows live retention, not
+			// garbage awaiting collection.
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(memFile); werr != nil && first == nil {
+				first = werr
+			}
+			if cerr := memFile.Close(); cerr != nil && first == nil {
+				first = cerr
+			}
+		}
+		return first
+	}, nil
+}
 
 // Context builds the root context for one CLI invocation. A non-empty
 // budgetSpec attaches parsed limits; a positive timeout adds a deadline.

@@ -202,3 +202,60 @@ func TestRequestContextClamping(t *testing.T) {
 		t.Error("bad budget spec accepted")
 	}
 }
+
+func TestProfileNoop(t *testing.T) {
+	stop, err := Profile("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileWritesBoth(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Profile(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so both profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileBadPaths(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nosuchdir", "p.pprof")
+	if _, err := Profile(missing, ""); err == nil {
+		t.Error("bad cpuprofile path accepted")
+	}
+	// A bad mem path must also unwind the already-started CPU profile so a
+	// later Profile call can start one again.
+	if _, err := Profile(filepath.Join(t.TempDir(), "cpu.pprof"), missing); err == nil {
+		t.Error("bad memprofile path accepted")
+	}
+	stop, err := Profile(filepath.Join(t.TempDir(), "cpu2.pprof"), "")
+	if err != nil {
+		t.Fatalf("CPU profiling not released after failed Profile: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

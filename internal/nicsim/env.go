@@ -25,6 +25,19 @@ type exec struct {
 	lastLine int64 // last packet-memory line touched (streaming amortization)
 }
 
+// reset re-arms the exec for the next packet, keeping the Sim pointer and
+// recycling the latched-entry map (cleared, not reallocated). The zeroed
+// remainder matches a freshly allocated exec field for field — mapLookup's
+// lazy-init tolerates an empty non-nil map — so packet N+1 starts from
+// exactly the state a fresh exec would give it, without the allocation.
+func (e *exec) reset(wire []byte, pktIndex int) {
+	s, latched := e.s, e.latched
+	for k := range latched {
+		delete(latched, k)
+	}
+	*e = exec{s: s, wire: wire, pktIndex: pktIndex, latched: latched}
+}
+
 // onInstr prices non-vcall instructions using the representative core's
 // per-class cycle table. VCall pricing happens inside VCall itself.
 func (e *exec) onInstr(_ int, in *cir.Instr) {

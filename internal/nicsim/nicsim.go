@@ -246,6 +246,10 @@ type Sim struct {
 	caches map[int]*cache // region ID → cache
 
 	threadFree []float64
+	// threads keeps the earliest-free NPU thread at its root (running-minimum
+	// over threadFree), so per-packet dispatch is O(log threads) instead of a
+	// linear scan.
+	threads threadHeap
 	// unitFree holds per-server next-free times for accelerators, parser
 	// and egress engines (a unit with N threads is N parallel servers).
 	unitFree map[int][]float64
@@ -257,6 +261,10 @@ type Sim struct {
 	npu      *lnic.ComputeUnit // representative general core for pricing
 	npuUnit  int
 	rngState uint64
+	// parserUnits/egressUnits cache UnitsOfKind results (which allocate a
+	// fresh slice per call) for the two lookups the packet loop needs.
+	parserUnits []int
+	egressUnits []int
 
 	faults     *Faults
 	frngState  uint64 // dedicated fault RNG (see faults.go)
@@ -335,6 +343,8 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	}
 	s.npuUnit = gp[0]
 	s.npu = &s.nic.Units[s.npuUnit]
+	s.parserUnits = s.nic.UnitsOfKind(lnic.UnitParser)
+	s.egressUnits = s.nic.UnitsOfKind(lnic.UnitEgress)
 
 	// Thread pool across all general cores.
 	total := 0
@@ -342,6 +352,7 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		total += s.nic.Units[id].Threads
 	}
 	s.threadFree = make([]float64, total)
+	s.threads = newThreadHeap(s.threadFree)
 	s.hubFree = make([][]float64, len(s.nic.Hubs))
 
 	for i := range s.nic.Mems {
@@ -459,7 +470,28 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 	}
 	interp := cir.NewInterp(s.prog)
 	clock := s.nic.ClockGHz
+	// Hot-path scratch: one exec serves every packet (reset between packets),
+	// the Hooks value is built once since its fields are loop-invariant, and
+	// decoded packets come from the trace's shared cache. Corruption copies
+	// recycle through corruptPool; the slot is released at the top of the next
+	// iteration and in finish(), covering every continue/error/return path.
+	decoded, decodeErr := tr.Decoded()
+	e := &exec{s: s}
+	hooks := cir.Hooks{OnInstr: e.onInstr, MaxSteps: simSteps, Ctx: ctx}
+	var corruptBuf *[]byte
+	releaseCorrupt := func() {
+		if corruptBuf != nil {
+			corruptPool.Put(corruptBuf)
+			corruptBuf = nil
+		}
+	}
+	finishRun := finish
+	finish = func() *Result {
+		releaseCorrupt()
+		return finishRun()
+	}
 	for i := range tr.Packets {
+		releaseCorrupt()
 		if err := ctx.Err(); err != nil {
 			return nil, &budget.CanceledError{
 				Stage: "simulate", NF: s.prog.Name, Err: err, Partial: finish(),
@@ -482,18 +514,36 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		}
 
 		data := tp.Data
+		corrupted := false
 		if f := s.faults; f != nil && f.Corrupt > 0 && len(data) > 0 && s.frandFloat() < f.Corrupt {
-			// Corrupt a copy: trace packet data is shared across runs.
-			dup := make([]byte, len(data))
+			// Corrupt a pooled copy: trace packet data — and the decode cache
+			// aliasing it — is shared across runs and must stay intact.
+			corruptBuf = corruptPool.Get().(*[]byte)
+			dup := *corruptBuf
+			if cap(dup) < len(data) {
+				dup = make([]byte, len(data))
+			}
+			dup = dup[:len(data)]
+			*corruptBuf = dup
 			copy(dup, data)
 			dup[int(s.frand()%uint64(len(dup)))] ^= byte(s.frand()%255 + 1)
 			data = dup
+			corrupted = true
 			s.report.Corrupted++
 			s.pktFaulted = true
 		}
 
-		e := &exec{s: s, wire: data, pktIndex: i}
-		if err := e.pkt.Decode(data); err != nil {
+		e.reset(data, i)
+		decodeFailed := false
+		if corrupted {
+			// The wire bytes differ from the trace's, so the cached decode
+			// does not apply: decode the corrupted copy fresh.
+			decodeFailed = e.pkt.Decode(data) != nil
+		} else {
+			e.pkt = decoded[i]
+			decodeFailed = decodeErr[i]
+		}
+		if decodeFailed {
 			// Malformed frames traverse the NIC switch only.
 			t, dropped := s.hubVisit(0, arrival, &e.bd)
 			if dropped {
@@ -525,20 +575,15 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		s.tl.add(Hop{Packet: i, Stage: "dma", Unit: -1, Start: t, Dur: dma})
 		t += dma
 		e.bd.Fixed += dma
-		if s.cfg.Place.ParseOnEngine {
-			if parsers := s.nic.UnitsOfKind(lnic.UnitParser); len(parsers) > 0 {
-				t = s.engineVisit(parsers[0], t, &e.bd)
-			}
+		if s.cfg.Place.ParseOnEngine && len(s.parserUnits) > 0 {
+			t = s.engineVisit(s.parserUnits[0], t, &e.bd)
 		}
 
 		// Dispatch to the earliest-free NPU thread (a packet binds to one
-		// thread, §3.2).
-		th := 0
-		for j := 1; j < len(s.threadFree); j++ {
-			if s.threadFree[j] < s.threadFree[th] {
-				th = j
-			}
-		}
+		// thread, §3.2). The heap's root is the running minimum of
+		// threadFree, with ties broken toward the lowest index exactly as
+		// the linear scan it replaced resolved them.
+		th := s.threads.min()
 		start := math.Max(t, s.threadFree[th])
 		// Under a fault-injected queue cap, the dispatch queue in front of
 		// the NPU complex is finite: a wait exceeding QueueCap mean service
@@ -557,10 +602,10 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		e.bd.Queue += start - t
 		e.now = start
 
-		verdict, err := interp.Run(e, &cir.Hooks{OnInstr: e.onInstr, MaxSteps: simSteps, Ctx: ctx})
+		verdict, err := interp.Run(e, &hooks)
 		runSteps += e.steps
 		if err != nil {
-			s.threadFree[th] = e.now
+			s.bookThread(th, e.now)
 			if errors.Is(err, cir.ErrStepLimit) {
 				return nil, &budget.ExceededError{
 					Resource: "sim-steps", Limit: int64(simSteps),
@@ -575,7 +620,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			res.Errors++
 			continue
 		}
-		s.threadFree[th] = e.now
+		s.bookThread(th, e.now)
 		s.svcSum += e.now - start
 		s.svcCount++
 		if s.tl != nil {
@@ -599,7 +644,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			// service latency without queueing contention (sequential
 			// server bookkeeping at out-of-order visit times would
 			// manufacture phantom waits behind long-running packets).
-			if eg := s.nic.UnitsOfKind(lnic.UnitEgress); len(eg) > 0 {
+			if eg := s.egressUnits; len(eg) > 0 {
 				svc := s.nic.Units[eg[0]].FixedCycles
 				s.tl.add(Hop{Packet: i, Stage: "egress", Unit: -1, Start: done, Dur: svc})
 				done += svc
@@ -623,6 +668,25 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 	}
 	return finish(), nil
 }
+
+// bookThread advances thread th's next-free time and restores the heap. th
+// is always the heap root (dispatch only ever books the earliest-free
+// thread), and free times only move forward, so one sift-down suffices. Shed
+// packets never book, leaving the heap untouched.
+func (s *Sim) bookThread(th int, free float64) {
+	s.threadFree[th] = free
+	s.threads.fix()
+}
+
+// corruptPool recycles the wire-byte copies that corruption fault injection
+// mutates, so a high corruption rate does not allocate per corrupted packet.
+// Entries are stored as *[]byte to keep Put itself allocation-free. Safe
+// because nothing downstream retains the corrupted bytes: PacketResult and
+// Timeline record only derived values.
+var corruptPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // hubServers is the switching parallelism of a hub: fabrics move several
 // packets at once, so a hub is a small server pool rather than one FIFO.

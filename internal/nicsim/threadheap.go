@@ -1,0 +1,58 @@
+package nicsim
+
+// threadHeap tracks the earliest-free NPU thread as a binary min-heap over
+// thread indices, ordered by (free time, thread index). The tie-break on
+// index makes min() return exactly the thread the previous per-packet linear
+// scan (strict <, ascending index) selected, so dispatch order — and with it
+// every downstream queue wait and timeline hop — is byte-identical to the
+// O(threads) scan this replaces, at O(log threads) per booking.
+//
+// The heap only ever sees one mutation pattern: the root is booked further
+// into the future (free times never move backward), so fix() is a single
+// sift-down from the root.
+type threadHeap struct {
+	free []float64 // shared with Sim.threadFree; the heap never writes it
+	idx  []int     // heap-ordered thread indices
+}
+
+func newThreadHeap(free []float64) threadHeap {
+	idx := make([]int, len(free))
+	for i := range idx {
+		idx[i] = i
+	}
+	// All threads start free at cycle 0, so ascending indices already
+	// satisfy the (free, index) heap order.
+	return threadHeap{free: free, idx: idx}
+}
+
+// min returns the thread index with the smallest (free time, index) key.
+func (h *threadHeap) min() int { return h.idx[0] }
+
+func (h *threadHeap) less(a, b int) bool {
+	ia, ib := h.idx[a], h.idx[b]
+	if h.free[ia] != h.free[ib] {
+		return h.free[ia] < h.free[ib]
+	}
+	return ia < ib
+}
+
+// fix restores heap order after the root thread's free time advanced.
+func (h *threadHeap) fix() {
+	i := 0
+	n := len(h.idx)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"clara/internal/budget"
@@ -85,9 +86,45 @@ type TracePacket struct {
 }
 
 // Trace is a replayable packet sequence.
+//
+// A Trace is replayed far more often than it is built: every simulator run,
+// eval sweep point and serving request walks the same frames, so the first
+// call to Decoded parses the whole trace once and caches the result for the
+// process lifetime. Packets must not be mutated after that first call, and a
+// Trace must not be copied by value once in use (the cache rides the struct).
 type Trace struct {
 	Name    string
 	Packets []TracePacket
+
+	// decodeOnce guards the decoded-frame cache below. The cached packets
+	// are read-only: consumers copy the struct they need into their own
+	// scratch and never write through its slices (Data/Payload/Options
+	// alias the wire bytes). Anything that must mutate frame bytes — the
+	// simulator's fault-injected corruption — copies the wire data and
+	// decodes the copy fresh instead of touching the cache.
+	decodeOnce sync.Once
+	decoded    []packet.Packet
+	decodeErrs []bool
+}
+
+// Decoded returns the trace's frames decoded once and cached: decoded[i] is
+// the parsed view of Packets[i].Data and decodeErr[i] reports whether the
+// parser rejected that frame (a rejected frame still carries the layers that
+// did parse, exactly as packet.Decode leaves them). Both slices are shared
+// and read-only; the decode runs at most once per Trace, and concurrent
+// callers are safe. Callers that modify packet contents must work on their
+// own copy of the wire bytes.
+func (t *Trace) Decoded() (decoded []packet.Packet, decodeErr []bool) {
+	t.decodeOnce.Do(func() {
+		t.decoded = make([]packet.Packet, len(t.Packets))
+		t.decodeErrs = make([]bool, len(t.Packets))
+		for i := range t.Packets {
+			if err := t.decoded[i].Decode(t.Packets[i].Data); err != nil {
+				t.decodeErrs[i] = true
+			}
+		}
+	})
+	return t.decoded, t.decodeErrs
 }
 
 // Stats summarizes a trace; the predictor consumes these expectations.
@@ -246,22 +283,25 @@ func GenerateContext(ctx context.Context, p Profile) (*Trace, error) {
 	return tr, nil
 }
 
-// Stats computes trace summary statistics.
+// Stats computes trace summary statistics. It consumes the shared decoded
+// cache (Decoded), so a trace that has already been simulated pays no second
+// parse and a Stats call warms the cache for the simulator.
 func (t *Trace) Stats() Stats {
 	var s Stats
 	s.Packets = len(t.Packets)
 	if s.Packets == 0 {
 		return s
 	}
+	decoded, decodeErr := t.Decoded()
 	seen := map[packet.Flow4]bool{}
 	var tcp, syn, hits int
 	var payloadSum, wireSum float64
-	var p packet.Packet
 	for i := range t.Packets {
-		if err := p.Decode(t.Packets[i].Data); err != nil {
+		if decodeErr[i] {
 			s.DecodeErrors++
 			continue
 		}
+		p := &decoded[i]
 		s.Decoded++
 		wireSum += float64(len(t.Packets[i].Data))
 		payloadSum += float64(len(p.Payload))

@@ -3,6 +3,8 @@ package workload
 import (
 	"bytes"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"clara/internal/packet"
@@ -330,7 +332,9 @@ func TestStatsSkipsUndecodablePackets(t *testing.T) {
 		0x02, 0, 0, 0, 0, 1, 0x02, 0, 0, 0, 0, 2, // eth dst/src
 		0x08, 0x00, // EtherType IPv4
 	}, 0x45, 0x00) // two bytes of a 20-byte IPv4 header
-	corrupt := *tr
+	// Build a fresh Trace rather than copying tr: a used Trace carries its
+	// decoded-frame cache and must not be duplicated by value.
+	corrupt := Trace{Name: tr.Name}
 	corrupt.Packets = append([]TracePacket(nil), tr.Packets...)
 	corrupt.Packets = append(corrupt.Packets,
 		TracePacket{Data: []byte{0xde, 0xad}, ArrivalNs: tr.Packets[len(tr.Packets)-1].ArrivalNs + 1},
@@ -357,6 +361,59 @@ func TestEmptyTraceStats(t *testing.T) {
 	s := tr.Stats()
 	if s.Packets != 0 || s.RatePPS != 0 {
 		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+// TestDecodedCache pins the decode-cache contract: Decoded parses each frame
+// exactly once, returns the same shared slices on every call (including
+// concurrent ones), and matches a fresh per-frame Decode bit for bit.
+func TestDecodedCache(t *testing.T) {
+	p := DefaultProfile()
+	p.Packets = 500
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Packets = append(tr.Packets, TracePacket{Data: []byte{0xde, 0xad}})
+
+	type view struct {
+		decoded []packet.Packet
+		errs    []bool
+	}
+	const goroutines = 8
+	views := make([]view, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d, e := tr.Decoded()
+			views[g] = view{d, e}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if &views[g].decoded[0] != &views[0].decoded[0] || &views[g].errs[0] != &views[0].errs[0] {
+			t.Fatalf("goroutine %d got a different cache instance", g)
+		}
+	}
+
+	decoded, errs := tr.Decoded()
+	if len(decoded) != len(tr.Packets) || len(errs) != len(tr.Packets) {
+		t.Fatalf("cache sized %d/%d, want %d", len(decoded), len(errs), len(tr.Packets))
+	}
+	for i := range tr.Packets {
+		var want packet.Packet
+		wantErr := want.Decode(tr.Packets[i].Data) != nil
+		if errs[i] != wantErr {
+			t.Fatalf("packet %d: cached error flag %v, fresh decode error %v", i, errs[i], wantErr)
+		}
+		if !reflect.DeepEqual(decoded[i], want) {
+			t.Fatalf("packet %d: cached decode differs from fresh decode", i)
+		}
+	}
+	if !errs[len(errs)-1] {
+		t.Error("runt frame not flagged as a decode error")
 	}
 }
 
