@@ -23,8 +23,9 @@ type benchBaseline struct {
 // reruns. Adding a baseline entry without registering its function here is a
 // test failure, not a silent skip.
 var guardedBenchmarks = map[string]func(*testing.B){
-	"BenchmarkPredict": BenchmarkPredict,
-	"BenchmarkSimRun":  BenchmarkSimRun,
+	"BenchmarkPredict":       BenchmarkPredict,
+	"BenchmarkSimRun":        BenchmarkSimRun,
+	"BenchmarkSimRunSharded": BenchmarkSimRunSharded,
 }
 
 // TestBenchGuard fails when a guarded hot path regresses against the

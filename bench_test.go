@@ -13,7 +13,10 @@ import (
 	"testing"
 
 	"clara/internal/eval"
+	"clara/internal/lnic"
 	"clara/internal/nf"
+	"clara/internal/nicsim"
+	"clara/internal/workload"
 )
 
 var benchCfg = eval.Config{Packets: 600, Seed: 11}
@@ -279,6 +282,53 @@ func BenchmarkSimRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simShardFixture builds the sharded-engine fixture: the BenchmarkSimRun
+// firewall configuration scaled to a trace long enough to decompose into 16
+// windows, with the decode cache warm so iterations measure shard setup,
+// simulation, and merge rather than pcap decoding.
+func simShardFixture(tb testing.TB) (nicsim.Config, *workload.Trace) {
+	tb.Helper()
+	spec := nf.Firewall(65536)
+	prog := spec.MustCompile()
+	nic := lnic.Netronome()
+	cfg := nicsim.Config{
+		NIC: nic, Prog: prog, Place: nicsim.DefaultPlacement(nic, prog),
+		Preload: spec.PreloadEntries, Seed: 11,
+	}
+	prof := workload.DefaultProfile()
+	prof.Packets = 262144
+	prof.Flows = 1024
+	tr, err := workload.Generate(prof)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr.Decoded()
+	return cfg, tr
+}
+
+// BenchmarkSimRunSharded measures the sharded engine end to end on a
+// 256k-packet trace split into 16 windows: per-shard simulator construction
+// (state preload included), the parallel window runs, and the trace-index
+// merge. Workers follow GOMAXPROCS, which never changes the merged Result —
+// only wall-clock time. bench_guard pins ns/op and allocs/op
+// (testdata/bench_baseline.json); see DESIGN.md "Sharded simulation" before
+// re-baselining.
+func BenchmarkSimRunSharded(b *testing.B) {
+	cfg, tr := simShardFixture(b)
+	opts := nicsim.ShardOpts{Workers: -1}
+	if _, err := nicsim.RunSharded(cfg, tr, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(tr.Packets)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nicsim.RunSharded(cfg, tr, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

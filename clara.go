@@ -72,6 +72,8 @@ type (
 	PredictOptions = predict.Options
 	// Measurement is a simulator run's result (the "Actual" side).
 	Measurement = nicsim.Result
+	// Breakdown splits simulated cycles by where they were spent.
+	Breakdown = nicsim.Breakdown
 	// Faults configures simulator fault injection (outages, degradation,
 	// queue overflow, memory faults, packet corruption).
 	Faults = nicsim.Faults
@@ -464,6 +466,17 @@ type MeasureOptions struct {
 	// accelerators, memory, egress) with cycle timestamps and queue depths
 	// into Measurement.Timeline.
 	Timeline bool
+	// Shards selects the simulation engine: 0 (the default) runs the
+	// classic single-threaded loop; N >= 1 runs the sharded engine with N
+	// parallel workers; negative values run it with GOMAXPROCS workers.
+	// Shard decomposition is fixed by ShardWindow alone, so on a fixed seed
+	// the Measurement is identical for every worker count.
+	Shards int
+	// ShardWindow is the packets-per-shard window for the sharded engine
+	// (values < 1 select nicsim.DefaultShardWindow). Changing the window
+	// changes where per-shard simulator state restarts, and therefore the
+	// results; changing Shards never does.
+	ShardWindow int
 }
 
 // MeasureOptionsContext is MeasureContext with per-run options: fault
@@ -471,16 +484,49 @@ type MeasureOptions struct {
 func (nf *NF) MeasureOptionsContext(ctx context.Context, t *Target, m *Mapping, tr *Trace, seed int64, opts MeasureOptions) (*Measurement, error) {
 	defer obs.From(ctx).StageTimer("simulate")()
 	return budget.Guard1("simulate", nf.Program.Name, func() (*Measurement, error) {
-		sim, err := nicsim.NewContext(ctx, nicsim.Config{
+		cfg := nicsim.Config{
 			NIC: t, Prog: nf.Program, Place: PlacementOf(m),
 			Preload: nf.Preload, Seed: seed, Faults: opts.Faults,
 			Timeline: opts.Timeline,
-		})
+		}
+		if opts.Shards != 0 {
+			return nicsim.RunShardedContext(ctx, cfg, tr, nicsim.ShardOpts{
+				Workers: opts.Shards, Window: opts.ShardWindow,
+			})
+		}
+		sim, err := nicsim.NewContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return sim.RunContext(ctx, tr)
 	})
+}
+
+// MeasureStreamContext is MeasureOptionsContext over a streamed trace: the
+// sharded engine pulls bounded windows from src (a NewTraceReader over a
+// pcap, or any nicsim.WindowSource) and simulates them as they arrive, so
+// peak ingestion memory is set by the shard window rather than the capture
+// length. Results match an in-memory sharded run of the same packets with
+// the same window size exactly. opts.Shards <= 0 selects GOMAXPROCS workers
+// (streaming always uses the sharded engine).
+func (nf *NF) MeasureStreamContext(ctx context.Context, t *Target, m *Mapping, src nicsim.WindowSource, seed int64, opts MeasureOptions) (*Measurement, error) {
+	defer obs.From(ctx).StageTimer("simulate")()
+	return budget.Guard1("simulate", nf.Program.Name, func() (*Measurement, error) {
+		cfg := nicsim.Config{
+			NIC: t, Prog: nf.Program, Place: PlacementOf(m),
+			Preload: nf.Preload, Seed: seed, Faults: opts.Faults,
+			Timeline: opts.Timeline,
+		}
+		return nicsim.RunShardedStreamContext(ctx, cfg, src, nicsim.ShardOpts{
+			Workers: opts.Shards, Window: opts.ShardWindow,
+		})
+	})
+}
+
+// NewTraceReader streams a pcap capture window by window for
+// MeasureStreamContext; see workload.TraceReader for the memory contract.
+func NewTraceReader(r io.Reader, name string) (*workload.TraceReader, error) {
+	return workload.NewTraceReader(r, name)
 }
 
 // Microbench recovers the target's performance parameters by running the

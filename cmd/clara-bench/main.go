@@ -10,7 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"clara"
 	"clara/internal/cliutil"
@@ -31,6 +33,8 @@ func main() {
 func run() (err error) {
 	target := flag.String("target", "netronome", "SmartNIC target: "+strings.Join(clara.Targets(), ", "))
 	curve := flag.Bool("curve", true, "probe the packet-size latency curve and locate the knee")
+	shards := flag.Int("shards", 0, "probe sharded-simulator throughput scaling up to this many workers (-1 = all cores, 0 = skip the probe)")
+	tpPackets := flag.Int("throughput-packets", 200000, "synthetic trace length for the -shards throughput probe")
 	parallel := flag.Int("parallel", 0, "worker-pool width for the probe suite (default GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, cliutil.TimeoutFlagDoc)
 	budgetSpec := flag.String("budget", "", cliutil.BudgetFlagDoc)
@@ -86,6 +90,29 @@ func run() (err error) {
 			fmt.Printf("knee (half-latency rule): ~%dB — packets beyond this spill to the next memory level\n", knee)
 		} else {
 			fmt.Println("no knee detected (flat curve)")
+		}
+	}
+
+	if *shards != 0 {
+		max := *shards
+		if max < 1 {
+			max = runtime.GOMAXPROCS(0)
+		}
+		workers := []int{1}
+		for w := 2; w <= max; w *= 2 {
+			workers = append(workers, w)
+		}
+		if last := workers[len(workers)-1]; last != max {
+			workers = append(workers, max)
+		}
+		points, err := microbench.ThroughputContext(ctx, t, *tpPackets, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsharded simulator throughput (%d-packet synthetic trace, identical results at every width):\n", *tpPackets)
+		for _, p := range points {
+			fmt.Printf("  %2d workers  %10.0f pkt/s  %6.2fx  (%s)\n",
+				p.Workers, p.PPS, p.Speedup, p.Elapsed.Round(time.Millisecond))
 		}
 	}
 	return nil

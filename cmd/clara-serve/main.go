@@ -8,8 +8,11 @@
 //	curl -s -X POST localhost:8080/v1/advise \
 //	  -d '{"nf":"firewall","workload":"flows=10000,rate=60000,size=300"}'
 //
-// Endpoints: POST /v1/advise, /v1/predict, /v1/partial (JSON bodies, see
-// README "clara-serve"), GET /v1/nfs, /metrics, /healthz. SIGINT/SIGTERM
+// Endpoints: POST /v1/advise, /v1/predict, /v1/partial, /v1/measure (JSON
+// bodies, see README "clara-serve"), GET /v1/nfs, /metrics, /healthz.
+// /v1/measure runs the sharded cycle-level simulator; the worker count
+// ("shards") never changes results on a fixed seed, so the result cache
+// deliberately ignores it. SIGINT/SIGTERM
 // triggers a graceful drain: in-flight analyses finish (up to
 // -drain-timeout), then the listener closes.
 package main
@@ -44,6 +47,7 @@ func run() error {
 		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "per-request wall-clock ceiling; client timeouts are clamped to this")
 		maxBudget   = flag.String("max-budget", "", "per-request resource ceiling, same syntax as -budget: "+cliutil.BudgetFlagDoc)
 		parallel    = flag.Int("parallel", 0, "worker-pool width inside each analysis (default GOMAXPROCS)")
+		simShards   = flag.Int("sim-shards", -1, "default /v1/measure simulator workers: -1 = all cores, 0 = classic single-threaded engine, N = N sharded workers (never changes results, only latency)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent analyses admitted (default 2x GOMAXPROCS)")
 		nfCache     = flag.Int("nf-cache", 128, "compiled-NF LRU capacity")
 		resultCache = flag.Int("result-cache", 1024, "result LRU capacity")
@@ -63,6 +67,7 @@ func run() error {
 		MaxTimeout:      *maxTimeout,
 		MaxBudget:       ceiling,
 		Parallel:        *parallel,
+		SimShards:       *simShards,
 		MaxInflight:     *maxInflight,
 		NFCacheSize:     *nfCache,
 		ResultCacheSize: *resultCache,

@@ -50,6 +50,9 @@ func run() (err error) {
 		timelineOut = flag.String("timeline", "", "record the first target's per-packet timeline and write it here as Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while running, e.g. localhost:6060")
 		faultsSpec  = flag.String("faults", "", "fault injection, e.g. outage=crypto,degrade=checksum:4,queuecap=8,memfault=emem:0.001,corrupt=0.02,seed=7")
+		shards      = flag.Int("shards", 0, "simulation engine: 0 = classic single-threaded loop, N>=1 = sharded engine with N workers, -1 = all cores; results are identical for every worker count on a fixed seed")
+		shardWindow = flag.Int("shard-window", 0, "packets per shard window for -shards (default 16384); the window defines where per-shard state restarts, so changing it changes results")
+		stream      = flag.Bool("stream", false, "with -pcap and -workload: stream the capture through the sharded engine window by window instead of loading it into memory (implies -shards, bounds ingestion memory by the shard window)")
 		noFlowCache = flag.Bool("no-flowcache", false, "hint: never use the flow cache")
 		noCksum     = flag.Bool("no-cksum-accel", false, "hint: checksum in software")
 		preload     preloadFlags
@@ -100,7 +103,16 @@ func run() (err error) {
 
 	var tr *clara.Trace
 	var wl clara.Workload
-	if *pcapPath != "" {
+	if *stream {
+		// Streaming never materializes the capture, so the mapping workload
+		// must come from the -workload spec instead of trace statistics.
+		if *pcapPath == "" || *workloadStr == "" {
+			return fmt.Errorf("-stream requires both -pcap (the capture to stream) and -workload (the traffic expectations for mapping)")
+		}
+		if wl, err = clara.ParseWorkload(*workloadStr); err != nil {
+			return err
+		}
+	} else if *pcapPath != "" {
 		f, err := os.Open(*pcapPath)
 		if err != nil {
 			return err
@@ -131,10 +143,18 @@ func run() (err error) {
 	// trace), so each worker only needs its own mapping + simulator run. The
 	// timeline is recorded on the first target only: it is a per-run drill-down
 	// view, and one file holds one run.
+	job := simJob{
+		wl: wl, tr: tr, hints: hints, seed: *seed, faults: faults,
+		shards: *shards, shardWindow: *shardWindow,
+	}
+	if *stream {
+		job.streamPcap = *pcapPath
+	}
 	reports, err := runner.Map(ctx, *parallelN, len(targets),
 		func(cctx context.Context, i int) (simOut, error) {
-			return simulate(cctx, nf, targets[i], wl, tr, hints, *seed, faults,
-				*timelineOut != "" && i == 0)
+			j := job
+			j.timeline = *timelineOut != "" && i == 0
+			return simulate(cctx, nf, targets[i], j)
 		})
 	if err != nil {
 		return err
@@ -166,19 +186,56 @@ type simOut struct {
 	timeline *clara.Timeline
 }
 
+// simJob carries one target run's shared inputs. With streamPcap set, the
+// trace is streamed from that file through the sharded engine instead of
+// being read from tr; each target opens its own reader, since a TraceReader
+// is single-use.
+type simJob struct {
+	wl          clara.Workload
+	tr          *clara.Trace
+	hints       clara.Hints
+	seed        int64
+	faults      *clara.Faults
+	timeline    bool
+	shards      int
+	shardWindow int
+	streamPcap  string
+}
+
 // simulate maps and runs the NF on one target, returning the rendered report.
-func simulate(ctx context.Context, nf *clara.NF, target string, wl clara.Workload, tr *clara.Trace, hints clara.Hints, seed int64, faults *clara.Faults, timeline bool) (simOut, error) {
+func simulate(ctx context.Context, nf *clara.NF, target string, j simJob) (simOut, error) {
 	t, err := clara.NewTarget(target)
 	if err != nil {
 		return simOut{}, err
 	}
-	m, err := nf.MapContext(ctx, t, wl, hints)
+	m, err := nf.MapContext(ctx, t, j.wl, j.hints)
 	if err != nil {
 		return simOut{}, err
 	}
-	res, err := nf.MeasureOptionsContext(ctx, t, m, tr, seed, clara.MeasureOptions{Faults: faults, Timeline: timeline})
-	if err != nil {
-		return simOut{}, err
+	opts := clara.MeasureOptions{
+		Faults: j.faults, Timeline: j.timeline,
+		Shards: j.shards, ShardWindow: j.shardWindow,
+	}
+	var res *clara.Measurement
+	if j.streamPcap != "" {
+		f, err := os.Open(j.streamPcap)
+		if err != nil {
+			return simOut{}, err
+		}
+		defer f.Close()
+		src, err := clara.NewTraceReader(f, j.streamPcap)
+		if err != nil {
+			return simOut{}, err
+		}
+		res, err = nf.MeasureStreamContext(ctx, t, m, src, j.seed, opts)
+		if err != nil {
+			return simOut{}, err
+		}
+	} else {
+		res, err = nf.MeasureOptionsContext(ctx, t, m, j.tr, j.seed, opts)
+		if err != nil {
+			return simOut{}, err
+		}
 	}
 
 	var b strings.Builder

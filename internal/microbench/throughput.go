@@ -1,0 +1,81 @@
+package microbench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"clara/internal/cir"
+	"clara/internal/lnic"
+	"clara/internal/nicsim"
+	"clara/internal/workload"
+)
+
+// ThroughputPoint is one sharded-simulator throughput measurement: the same
+// synthetic trace simulated with `Workers` parallel shard workers.
+type ThroughputPoint struct {
+	Workers int
+	Packets int
+	Elapsed time.Duration
+	PPS     float64 // simulated packets per wall-clock second
+	Speedup float64 // PPS relative to the first (1-worker) point
+}
+
+// ThroughputContext measures the sharded simulator's wall-clock throughput
+// on nic: one synthetic trace of `packets` packets is generated and decoded
+// once, then simulated at each worker count in `workers` with an identical
+// shard window — so every point simulates byte-identical work and the PPS
+// ratios isolate scheduling, not results. The probe program is the §3.2
+// straight-line ALU probe; throughput here characterizes the simulator
+// itself (how fast ground truth can be produced), not the NIC.
+func ThroughputContext(ctx context.Context, nic *lnic.LNIC, packets int, workers []int) ([]ThroughputPoint, error) {
+	if packets < 1 {
+		packets = 1
+	}
+	prog := instrProbe(cir.OpAdd, 48)
+	place := nicsim.DefaultPlacement(nic, prog)
+	tr, err := workload.GenerateContext(ctx, workload.Profile{
+		Name: "throughput-probe", Packets: packets, RatePPS: 5e6, Flows: 1024,
+		TCPFraction: 1, PayloadBytes: 64, Seed: 9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Decode up front: the cache is shared across runs, so the first point
+	// would otherwise pay the whole parse and skew the baseline.
+	tr.Decoded()
+
+	// A window much smaller than the trace keeps every worker count busy;
+	// identical across points so the merged results are too.
+	window := packets / 16
+	if window < 1024 {
+		window = 1024
+	}
+	if window > nicsim.DefaultShardWindow {
+		window = nicsim.DefaultShardWindow
+	}
+
+	points := make([]ThroughputPoint, 0, len(workers))
+	var base float64
+	for _, w := range workers {
+		cfg := nicsim.Config{NIC: nic, Prog: prog, Place: place, Seed: 42}
+		start := time.Now()
+		res, err := nicsim.RunShardedContext(ctx, cfg, tr, nicsim.ShardOpts{Workers: w, Window: window})
+		if err != nil {
+			return points, err
+		}
+		if res.Errors > 0 {
+			return points, fmt.Errorf("microbench: %d throughput-probe errors", res.Errors)
+		}
+		elapsed := time.Since(start)
+		pps := float64(len(res.Packets)) / elapsed.Seconds()
+		if base == 0 {
+			base = pps
+		}
+		points = append(points, ThroughputPoint{
+			Workers: w, Packets: len(res.Packets), Elapsed: elapsed,
+			PPS: pps, Speedup: pps / base,
+		})
+	}
+	return points, nil
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// tables). Values are entry counts.
 	Preload map[string]int
 	Seed    int64
+	// StateSeed, when non-zero, seeds state-object initialization (LPM rule
+	// synthesis, array preloads) independently of Seed, which then drives
+	// only the runtime RNG streams. Zero derives state from Seed. The
+	// sharded engine sets it so every shard sees identical table contents
+	// while its timing/fault streams stay shard-specific.
+	StateSeed int64
 	// Faults, when non-nil, injects hardware faults during the run (see the
 	// Faults type); validated against the NIC at New.
 	Faults *Faults
@@ -318,6 +324,12 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		rngState: uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		faults:   cfg.Faults,
 	}
+	if s.rngState == 0 {
+		// The affine seed map has exactly one pre-image of 0; without this
+		// guard that seed would freeze the xorshift at 0 forever. Mirrors the
+		// fault RNG's guard below so derived per-shard streams inherit both.
+		s.rngState = 0x2545F4914F6CDD1D
+	}
 	if cfg.Timeline {
 		s.tl = &Timeline{NF: cfg.Prog.Name, NIC: cfg.NIC.Name, ClockGHz: cfg.NIC.ClockGHz}
 		s.memCycles = make([]float64, len(cfg.NIC.Mems))
@@ -366,7 +378,15 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		s.fc = newFlowCache(s.nic.Units[s.fcUnit].TableEntries)
 	}
 
-	// Place state: allocate simulated addresses region by region.
+	// Place state: allocate simulated addresses region by region. Contents
+	// of synthesized state (LPM rules, array preloads) derive from the state
+	// seed — cfg.StateSeed when set, cfg.Seed otherwise — hashed with the
+	// object's name so two objects never share a stream (they did when the
+	// derivation used len(name); see stateSeed).
+	stSeed := cfg.StateSeed
+	if stSeed == 0 {
+		stSeed = cfg.Seed
+	}
 	alloc := map[int]uint64{}
 	nextAddr := func(region int, bytes int) uint64 {
 		base := alloc[region]
@@ -395,14 +415,14 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 			if entries <= 0 {
 				entries = obj.Capacity
 			}
-			s.lpms[obj.Name] = newLPMState(obj, region, nextAddr(region, obj.Bytes()), entries, cfg.Seed+int64(len(obj.Name)))
+			s.lpms[obj.Name] = newLPMState(obj, region, nextAddr(region, obj.Bytes()), entries, stateSeed(stSeed, obj.Name))
 		case cir.StateSketch:
 			s.sketches[obj.Name] = newSketchState(obj, region, nextAddr(region, obj.Bytes()))
 		case cir.StateArray:
 			arr := newArrayState(obj, region, nextAddr(region, obj.Bytes()))
 			if n := cfg.Preload[obj.Name]; n > 0 {
 				// Pre-install deterministic values (backend IDs, weights).
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(len(obj.Name))))
+				rng := rand.New(rand.NewSource(stateSeed(stSeed, obj.Name)))
 				for i := 0; i < n && i < len(arr.vals); i++ {
 					arr.vals[i] = uint64(rng.Intn(256))
 				}
@@ -433,12 +453,23 @@ func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
 // the packets that did complete — enough to compare a prediction against a
 // truncated run.
 func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, error) {
+	return s.runRange(ctx, tr, 0, 0, len(tr.Packets))
+}
+
+// runRange is the simulation loop over tr.Packets[lo:hi], attributing packet
+// tr.Packets[i] the global trace index base+i — the index the budget's
+// SimEvents cap, the timeline's Packet field and the packet-memory rotation
+// all see. RunContext is runRange over the whole trace with base 0; the
+// sharded engine runs one window per call, either as a sub-range of a shared
+// in-memory trace (base 0) or as a streamed window trace whose own indices
+// start at 0 (base = the window's global start).
+func (s *Sim) runRange(ctx context.Context, tr *workload.Trace, base, lo, hi int) (*Result, error) {
 	lim := budget.From(ctx)
 	simSteps := int(lim.SimStepLimit())
 	s.runDPI = lim.DPIBytes
 	res := &Result{
 		NFName:       s.prog.Name,
-		Packets:      make([]PacketResult, 0, len(tr.Packets)),
+		Packets:      make([]PacketResult, 0, hi-lo),
 		CacheHitRate: map[string]float64{},
 	}
 	metrics := obs.From(ctx)
@@ -490,14 +521,15 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		releaseCorrupt()
 		return finishRun()
 	}
-	for i := range tr.Packets {
+	for i := lo; i < hi; i++ {
+		g := base + i // global trace index
 		releaseCorrupt()
 		if err := ctx.Err(); err != nil {
 			return nil, &budget.CanceledError{
 				Stage: "simulate", NF: s.prog.Name, Err: err, Partial: finish(),
 			}
 		}
-		if lim.SimEvents > 0 && int64(i) >= lim.SimEvents {
+		if lim.SimEvents > 0 && int64(g) >= lim.SimEvents {
 			return nil, &budget.ExceededError{
 				Resource: "sim-events", Limit: lim.SimEvents,
 				Stage: "simulate", NF: s.prog.Name, Partial: finish(),
@@ -506,7 +538,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		tp := &tr.Packets[i]
 		arrival := tp.ArrivalNs * clock
 		s.pktFaulted = false
-		s.curPkt = i
+		s.curPkt = g
 		if s.memCycles != nil {
 			for r := range s.memCycles {
 				s.memCycles[r] = 0
@@ -533,7 +565,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			s.pktFaulted = true
 		}
 
-		e.reset(data, i)
+		e.reset(data, g)
 		decodeFailed := false
 		if corrupted {
 			// The wire bytes differ from the trace's, so the cached decode
@@ -572,7 +604,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			}
 		}
 		dma := float64(len(data)/64+1) * 1.0
-		s.tl.add(Hop{Packet: i, Stage: "dma", Unit: -1, Start: t, Dur: dma})
+		s.tl.add(Hop{Packet: g, Stage: "dma", Unit: -1, Start: t, Dur: dma})
 		t += dma
 		e.bd.Fixed += dma
 		if s.cfg.Place.ParseOnEngine && len(s.parserUnits) > 0 {
@@ -596,7 +628,7 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			}
 		}
 		if s.tl != nil {
-			s.tl.add(Hop{Packet: i, Stage: "dispatch", Unit: th, Start: start,
+			s.tl.add(Hop{Packet: g, Stage: "dispatch", Unit: th, Start: start,
 				Wait: start - t, Depth: busyAfter(s.threadFree, t)})
 		}
 		e.bd.Queue += start - t
@@ -624,13 +656,13 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 		s.svcSum += e.now - start
 		s.svcCount++
 		if s.tl != nil {
-			s.tl.add(Hop{Packet: i, Stage: "npu", Unit: th, Start: start, Dur: e.now - start})
+			s.tl.add(Hop{Packet: g, Stage: "npu", Unit: th, Start: start, Dur: e.now - start})
 			// Memory time is interleaved with compute on the core, so the
 			// tracer reports it as one aggregate span per region rather than
 			// thousands of per-access events.
 			for r, cyc := range s.memCycles {
 				if cyc > 0 {
-					s.tl.add(Hop{Packet: i, Stage: "mem:" + s.nic.Mems[r].Name,
+					s.tl.add(Hop{Packet: g, Stage: "mem:" + s.nic.Mems[r].Name,
 						Unit: -1, Start: start, Dur: cyc})
 				}
 			}
@@ -646,13 +678,13 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 			// manufacture phantom waits behind long-running packets).
 			if eg := s.egressUnits; len(eg) > 0 {
 				svc := s.nic.Units[eg[0]].FixedCycles
-				s.tl.add(Hop{Packet: i, Stage: "egress", Unit: -1, Start: done, Dur: svc})
+				s.tl.add(Hop{Packet: g, Stage: "egress", Unit: -1, Start: done, Dur: svc})
 				done += svc
 				e.bd.Fixed += svc
 			}
 			if len(s.nic.Hubs) > 1 {
 				svc := s.nic.Hubs[1].ServiceCycles
-				s.tl.add(Hop{Packet: i, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
+				s.tl.add(Hop{Packet: g, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
 				done += svc
 				e.bd.Fixed += svc
 			}
@@ -869,6 +901,28 @@ func (s *Sim) claimServer(unit int, now, svc float64) (float64, int) {
 	start := math.Max(now, servers[best])
 	servers[best] = start + svc
 	return start, best
+}
+
+// stateSeed derives the RNG seed for one named state object: an FNV-1a hash
+// of the name folded into the run's state seed through a splitmix64
+// finalizer. The previous derivation, seed+len(name), handed byte-identical
+// contents to any two objects whose names merely shared a length.
+func stateSeed(seed int64, name string) int64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return int64(mix64(h ^ uint64(seed)))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64 used
+// for every seed derivation (state objects, per-shard streams) so related
+// inputs land on unrelated streams — unlike additive offsets, which alias.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 func (s *Sim) random() uint64 {

@@ -66,6 +66,12 @@ type Config struct {
 	// Parallel is the internal/runner pool width each analysis fans out
 	// with (advise targets, partial cuts); < 1 selects GOMAXPROCS.
 	Parallel int
+	// SimShards is the default worker count for /v1/measure simulations
+	// when the request doesn't set "shards": 0 runs the classic
+	// single-threaded simulator, N >= 1 the sharded engine with N workers,
+	// negative values GOMAXPROCS workers. Shard workers never change
+	// results, only latency, which is why the result cache ignores them.
+	SimShards int
 	// MaxInflight bounds concurrently executing analyses (not connections);
 	// excess computations queue on the semaphore. < 1 selects
 	// 2×GOMAXPROCS.
@@ -169,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/advise", s.instrument("advise", s.handleAdvise))
 	mux.Handle("/v1/predict", s.instrument("predict", s.handlePredict))
 	mux.Handle("/v1/partial", s.instrument("partial", s.handlePartial))
+	mux.Handle("/v1/measure", s.instrument("measure", s.handleMeasure))
 	mux.Handle("/v1/nfs", s.instrument("nfs", s.handleNFs))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -257,6 +264,17 @@ type Request struct {
 	Workload string `json:"workload,omitempty"`
 	Budget   string `json:"budget,omitempty"`
 	Timeout  string `json:"timeout,omitempty"`
+	// Seed and Faults apply to /v1/measure only: the simulator seed and a
+	// fault-injection spec in the clara-sim -faults syntax. Both are part
+	// of the result identity (and the cache key).
+	Seed   int64  `json:"seed,omitempty"`
+	Faults string `json:"faults,omitempty"`
+	// Shards picks the /v1/measure simulation engine's worker count
+	// (0 = the server's default). Worker count never changes the
+	// measurement on a fixed seed — shard decomposition is fixed — so it
+	// is deliberately NOT part of the result cache key: a request with
+	// shards=8 is answered from a cached shards=1 run, byte for byte.
+	Shards int `json:"shards,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -387,7 +405,10 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	}
 	sum := sha256.Sum256([]byte(source))
 	hash := hex.EncodeToString(sum[:])
-	key := strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget}, "\x00")
+	// Seed and Faults are simulation inputs (measure); Shards is excluded
+	// on purpose — shard-count invariance makes it a pure scheduling knob.
+	key := strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget,
+		strconv.FormatInt(req.Seed, 10), req.Faults}, "\x00")
 	// The computation runs under the flight leader's clamped deadline, so
 	// sharing is scoped to requests with an identical timeout spec — a
 	// generous request must not inherit a 504 from a 1ms leader. The result
@@ -518,6 +539,95 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) int {
 			return nil, err
 		}
 		return partialResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Analysis: an}, nil
+	})
+}
+
+// measureResponse summarizes a simulator run. FlowCacheHitRate is a pointer
+// because the simulator reports NaN when the mapping uses no flow cache and
+// NaN is not representable in JSON — absent means "no flow cache".
+type measureResponse struct {
+	NF               string             `json:"nf"`
+	Target           string             `json:"target"`
+	Workload         string             `json:"workload"`
+	Seed             int64              `json:"seed"`
+	Faults           string             `json:"faults,omitempty"`
+	Packets          int                `json:"packets"`
+	Drops            int                `json:"drops"`
+	Errors           int                `json:"errors"`
+	MeanCycles       float64            `json:"mean_cycles"`
+	MeanNanos        float64            `json:"mean_nanos"`
+	P50Cycles        float64            `json:"p50_cycles"`
+	P99Cycles        float64            `json:"p99_cycles"`
+	Breakdown        clara.Breakdown    `json:"breakdown"`
+	CacheHitRate     map[string]float64 `json:"cache_hit_rate,omitempty"`
+	FlowCacheHitRate *float64           `json:"flow_cache_hit_rate,omitempty"`
+	FaultReport      *clara.FaultReport `json:"fault_report,omitempty"`
+}
+
+// handleMeasure runs the NF on the cycle-level simulator — the "Actual"
+// side of the validation — against a synthetic trace generated from the
+// workload spec. The simulation runs on the sharded engine with the
+// server's (or the request's) worker count; on a fixed seed the response is
+// identical for every worker count, so cached results are shared across
+// requests that differ only in "shards".
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) int {
+	return s.analyze(w, r, "measure", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+		t, err := clara.NewTarget(req.Target)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := clara.ParseWorkload(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := clara.ParseTrafficProfile(req.Workload)
+		if err != nil {
+			return nil, err
+		}
+		faults, err := clara.ParseFaults(req.Faults)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := clara.GenerateTraceContext(ctx, prof)
+		if err != nil {
+			return nil, err
+		}
+		m, err := nf.MapContext(ctx, t, wl, clara.Hints{})
+		if err != nil {
+			return nil, err
+		}
+		shards := req.Shards
+		if shards == 0 {
+			shards = s.cfg.SimShards
+		}
+		res, err := nf.MeasureOptionsContext(ctx, t, m, tr, req.Seed, clara.MeasureOptions{
+			Faults: faults, Shards: shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		drops := 0
+		for i := range res.Packets {
+			if res.Packets[i].Verdict != 0 {
+				drops++
+			}
+		}
+		out := measureResponse{
+			NF: nf.Name(), Target: req.Target, Workload: req.Workload,
+			Seed: req.Seed, Faults: req.Faults,
+			Packets: len(res.Packets), Drops: drops, Errors: res.Errors,
+			MeanCycles: res.MeanLatency(), MeanNanos: t.CyclesToNanos(res.MeanLatency()),
+			P50Cycles: res.Percentile(50), P99Cycles: res.Percentile(99),
+			Breakdown: res.MeanBreakdown(), CacheHitRate: res.CacheHitRate,
+		}
+		if fc := res.FlowCacheHitRate; fc == fc { // not NaN: the mapping has a flow cache
+			out.FlowCacheHitRate = &fc
+		}
+		if res.Faults.Any() {
+			fr := res.Faults
+			out.FaultReport = &fr
+		}
+		return out, nil
 	})
 }
 

@@ -552,3 +552,70 @@ func ExampleServer() {
 	fmt.Print(string(b))
 	// Output: ok
 }
+
+// TestMeasureEndpoint exercises POST /v1/measure: a simulator run with an
+// explicit seed, a second request differing only in worker count answered
+// from the cache (shard-count invariance makes "shards" a scheduling knob,
+// not a result key), and a different seed forcing a fresh computation.
+func TestMeasureEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{SimShards: 2})
+	req := Request{NF: "firewall", Target: "netronome",
+		Workload: "packets=256,flows=64,rate=60000,size=300", Seed: 7}
+
+	resp1, body1 := post(t, ts.URL+"/v1/measure", req)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("cold measure: %d %s", resp1.StatusCode, body1)
+	}
+	var parsed measureResponse
+	if err := json.Unmarshal(body1, &parsed); err != nil {
+		t.Fatalf("measure body not JSON: %v\n%s", err, body1)
+	}
+	if parsed.NF != "firewall" || parsed.Packets == 0 || parsed.MeanCycles <= 0 {
+		t.Errorf("measure response: %+v", parsed)
+	}
+	if parsed.Seed != 7 {
+		t.Errorf("seed echoed = %d, want 7", parsed.Seed)
+	}
+
+	// Same measurement, different worker count: must be a cache hit with a
+	// byte-identical body.
+	req.Shards = 8
+	resp2, body2 := post(t, ts.URL+"/v1/measure", req)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("warm measure: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Clara-Cache"); got != "hit" {
+		t.Errorf("shards-only change X-Clara-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("shards-only change altered the response body")
+	}
+	if n := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "measure").Value(); n != 1 {
+		t.Errorf("computations after shards-only change = %d, want 1", n)
+	}
+
+	// A different seed is a different measurement.
+	req.Seed = 8
+	resp3, _ := post(t, ts.URL+"/v1/measure", req)
+	if resp3.StatusCode != 200 {
+		t.Fatalf("reseeded measure: %d", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("X-Clara-Cache"); got != "miss" {
+		t.Errorf("reseeded request X-Clara-Cache = %q, want miss", got)
+	}
+
+	// Faults are part of the result identity too, and the response must
+	// stay valid JSON (fault report attached, no NaN leakage).
+	req.Faults = "corrupt=0.05,seed=3"
+	resp4, body4 := post(t, ts.URL+"/v1/measure", req)
+	if resp4.StatusCode != 200 {
+		t.Fatalf("faulted measure: %d %s", resp4.StatusCode, body4)
+	}
+	var faulted measureResponse
+	if err := json.Unmarshal(body4, &faulted); err != nil {
+		t.Fatalf("faulted body not JSON: %v", err)
+	}
+	if bytes.Equal(body1, body4) {
+		t.Error("fault spec ignored by the cache key")
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"clara/internal/budget"
+	"clara/internal/pcap"
+)
+
+// TraceReader streams a pcap capture as bounded, contiguous trace windows
+// instead of materializing the whole capture: each NextWindow call holds at
+// most one window of wire bytes (plus whatever decode cache the consumer
+// builds), so peak ingestion memory is set by the window size, not the
+// capture length. Packet timestamps are normalized exactly as ReadPcap's:
+// ArrivalNs is relative to the capture's first record, across all windows,
+// so a streamed capture and an in-memory one describe identical traces.
+//
+// A TraceReader is single-use and not safe for concurrent NextWindow calls;
+// the sharded simulator's single producer goroutine is the intended caller.
+type TraceReader struct {
+	pr        *pcap.Reader
+	name      string
+	t0        time.Time
+	first     bool
+	delivered int // global trace index of the next packet to deliver
+	done      bool
+}
+
+// NewTraceReader starts streaming a pcap capture from r. The name labels
+// budget errors, mirroring ReadPcapContext's.
+func NewTraceReader(r io.Reader, name string) (*TraceReader, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceReader{pr: pr, name: name, first: true}, nil
+}
+
+// NextWindow reads up to max packets and returns them as a Trace alongside
+// the global trace index of the window's first packet. Exhaustion is
+// (nil, n, io.EOF). The context's event budget caps total ingested records
+// exactly as ReadPcapContext's does (resource "trace-packets", stage
+// "ingest"); budget and cancellation errors return the partial window read
+// before the trip so the caller can still simulate those packets.
+func (t *TraceReader) NextWindow(ctx context.Context, max int) (*Trace, int, error) {
+	start := t.delivered
+	if t.done {
+		return nil, start, io.EOF
+	}
+	if max < 1 {
+		max = 1
+	}
+	lim := budget.From(ctx)
+	win := &Trace{Name: t.name}
+	for len(win.Packets) < max {
+		if len(win.Packets)&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				t.done = true
+				t.account(ctx, win)
+				return win, start, &budget.CanceledError{
+					Stage: "ingest", NF: t.name, Err: err, Partial: win,
+				}
+			}
+		}
+		if lim.SimEvents > 0 && int64(t.delivered) >= lim.SimEvents {
+			t.done = true
+			t.account(ctx, win)
+			return win, start, &budget.ExceededError{
+				Resource: "trace-packets", Limit: lim.SimEvents,
+				Stage: "ingest", NF: t.name, Partial: win,
+			}
+		}
+		rec, err := t.pr.Next()
+		if err == io.EOF {
+			t.done = true
+			if len(win.Packets) == 0 {
+				return nil, start, io.EOF
+			}
+			break
+		}
+		if err != nil {
+			t.done = true
+			t.account(ctx, win)
+			return win, start, err
+		}
+		if t.first {
+			t.t0 = rec.Timestamp
+			t.first = false
+		}
+		win.Packets = append(win.Packets, TracePacket{
+			Data:      rec.Data,
+			ArrivalNs: float64(rec.Timestamp.Sub(t.t0)),
+		})
+		t.delivered++
+	}
+	t.account(ctx, win)
+	return win, start, nil
+}
+
+// Delivered reports how many packets have been handed out so far — the
+// global index one past the last delivered packet.
+func (t *TraceReader) Delivered() int { return t.delivered }
+
+func (t *TraceReader) account(ctx context.Context, win *Trace) {
+	if n := int64(len(win.Packets)); n > 0 {
+		budget.UsageFrom(ctx).AddTracePackets(n)
+	}
+}

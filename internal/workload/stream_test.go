@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"clara/internal/budget"
+)
+
+func pcapFixture(t *testing.T, packets int) ([]byte, *Trace) {
+	t.Helper()
+	p := DefaultProfile()
+	p.Packets = packets
+	p.Flows = 16
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The reference trace re-reads the same bytes so both sides carry the
+	// identical pcap-quantized timestamps.
+	want, err := ReadPcap(bytes.NewReader(buf.Bytes()), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+// TestTraceReaderWindows streams a capture in ragged windows and requires
+// the concatenation to reproduce ReadPcap exactly: same bytes, same
+// first-record-relative arrival times across window boundaries, contiguous
+// start indices, io.EOF exactly once at the end.
+func TestTraceReaderWindows(t *testing.T) {
+	raw, want := pcapFixture(t, 100)
+	rd, err := NewTraceReader(bytes.NewReader(raw), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var got []TracePacket
+	for {
+		win, start, err := rd.NextWindow(ctx, 7)
+		if err == io.EOF {
+			if win != nil {
+				t.Fatal("io.EOF must come with a nil window")
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != len(got) {
+			t.Fatalf("window start = %d, want %d", start, len(got))
+		}
+		if len(win.Packets) == 0 || len(win.Packets) > 7 {
+			t.Fatalf("window size = %d, want 1..7", len(win.Packets))
+		}
+		got = append(got, win.Packets...)
+	}
+	if rd.Delivered() != len(want.Packets) {
+		t.Fatalf("Delivered = %d, want %d", rd.Delivered(), len(want.Packets))
+	}
+	if !reflect.DeepEqual(got, want.Packets) {
+		t.Fatalf("streamed packets differ from ReadPcap (%d vs %d)", len(got), len(want.Packets))
+	}
+	// Exhausted readers keep returning io.EOF.
+	if _, _, err := rd.NextWindow(ctx, 7); err != io.EOF {
+		t.Fatalf("second EOF read = %v, want io.EOF", err)
+	}
+}
+
+// TestTraceReaderBudget pins the ingestion budget contract: the reader
+// trips at exactly the SimEvents cap with resource "trace-packets", stage
+// "ingest", returning the partial window read before the trip — matching
+// ReadPcapContext's behavior on the same capture.
+func TestTraceReaderBudget(t *testing.T) {
+	raw, _ := pcapFixture(t, 100)
+	ctx := budget.With(context.Background(), budget.Limits{SimEvents: 60})
+	rd, err := NewTraceReader(bytes.NewReader(raw), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, start, err := rd.NextWindow(ctx, 50)
+	if err != nil || start != 0 || len(w1.Packets) != 50 {
+		t.Fatalf("window 1: %d packets at %d, err %v", len(w1.Packets), start, err)
+	}
+	w2, start, err := rd.NextWindow(ctx, 50)
+	var ee *budget.ExceededError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want budget trip, got %v", err)
+	}
+	if ee.Resource != "trace-packets" || ee.Stage != "ingest" || ee.Limit != 60 {
+		t.Fatalf("trip = %+v, want trace-packets/ingest limit 60", ee)
+	}
+	if start != 50 || len(w2.Packets) != 10 {
+		t.Fatalf("partial window: %d packets at %d, want 10 at 50", len(w2.Packets), start)
+	}
+	if ee.Partial.(*Trace) != w2 {
+		t.Fatal("error Partial must carry the partial window")
+	}
+	// A tripped reader is exhausted.
+	if _, _, err := rd.NextWindow(ctx, 50); err != io.EOF {
+		t.Fatalf("post-trip read = %v, want io.EOF", err)
+	}
+}
+
+// TestTraceReaderUsageAccounting checks the delivered packets land in the
+// context's budget-usage accumulator like ReadPcapContext's do.
+func TestTraceReaderUsageAccounting(t *testing.T) {
+	raw, _ := pcapFixture(t, 40)
+	var u budget.Usage
+	ctx := budget.WithUsage(context.Background(), &u)
+	rd, err := NewTraceReader(bytes.NewReader(raw), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		win, _, err := rd.NextWindow(ctx, 16)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(win.Packets)
+	}
+	snap := u.Snapshot(budget.Limits{})
+	if snap.TracePackets != int64(total) || total != 40 {
+		t.Fatalf("usage trace-packets = %d, delivered %d, want 40", snap.TracePackets, total)
+	}
+}
