@@ -9,12 +9,15 @@
 //	  -d '{"nf":"firewall","workload":"flows=10000,rate=60000,size=300"}'
 //
 // Endpoints: POST /v1/advise, /v1/predict, /v1/partial, /v1/measure (JSON
-// bodies, see README "clara-serve"), GET /v1/nfs, /metrics, /healthz.
+// bodies, see README "clara-serve"), POST/GET /v1/jobs for asynchronous
+// submissions with retries, GET /v1/nfs, /metrics, /healthz and /readyz.
 // /v1/measure runs the sharded cycle-level simulator; the worker count
 // ("shards") never changes results on a fixed seed, so the result cache
-// deliberately ignores it. SIGINT/SIGTERM
-// triggers a graceful drain: in-flight analyses finish (up to
-// -drain-timeout), then the listener closes.
+// deliberately ignores it. Per-endpoint circuit breakers and queue/latency
+// load shedding answer 503 + Retry-After under overload. SIGINT/SIGTERM
+// triggers a graceful drain: queued jobs cancel, in-flight analyses finish
+// (up to -drain-timeout), then the listener closes; /readyz reports
+// not-ready for the duration.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 
 	"clara/internal/budget"
 	"clara/internal/cliutil"
+	"clara/internal/jobs"
 	"clara/internal/serve"
 )
 
@@ -52,8 +56,20 @@ func run() error {
 		nfCache     = flag.Int("nf-cache", 128, "compiled-NF LRU capacity")
 		resultCache = flag.Int("result-cache", 1024, "result LRU capacity")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "how long a shutdown waits for in-flight analyses before aborting them")
+		jobWorkers  = flag.Int("job-workers", 4, "async job workers draining /v1/jobs submissions")
+		jobQueue    = flag.Int("job-queue", 256, "queued async jobs admitted before 503")
+		jobRetries  = flag.Int("job-retries", 3, "attempts per async job before a transient failure becomes permanent")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable (queued jobs older than this expire unrun)")
+		shedQueue   = flag.Int("shed-queue", 0, "job queue depth that triggers load shedding (0 = 3/4 of -job-queue, negative disables)")
+		shedP99     = flag.Duration("shed-p99", 0, "windowed p99 latency on the jobs endpoint that triggers load shedding (0 disables)")
+		chaosSpec   = flag.String("chaos", "", "deterministic fault injection for resilience testing, e.g. 'fail=0.2,panic=0.05,delay=0.1,maxdelay=5ms,seed=42' (empty disables)")
 	)
 	flag.Parse()
+
+	chaos, err := jobs.ParseChaos(*chaosSpec)
+	if err != nil {
+		return err
+	}
 
 	ceiling := budget.Limits{}
 	if *maxBudget != "" {
@@ -71,12 +87,31 @@ func run() error {
 		MaxInflight:     *maxInflight,
 		NFCacheSize:     *nfCache,
 		ResultCacheSize: *resultCache,
+		JobWorkers:      *jobWorkers,
+		JobQueueDepth:   *jobQueue,
+		JobMaxAttempts:  *jobRetries,
+		JobTTL:          *jobTTL,
+		ShedQueue:       *shedQueue,
+		ShedP99:         *shedP99,
+		Chaos:           chaos,
 	})
 	if err != nil {
 		return err
 	}
+	if chaos != nil {
+		fmt.Fprintln(os.Stderr, "clara-serve: CHAOS INJECTION ACTIVE:", *chaosSpec)
+	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Header/read timeouts bound how long a client may dribble a request at
+	// us (slowloris); the write side stays unbounded because long analyses
+	// legitimately hold responses open up to -max-timeout.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

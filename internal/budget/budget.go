@@ -297,6 +297,75 @@ func Canceled(ctx context.Context, stage, nf string) error {
 	return nil
 }
 
+// TransientError marks a failure as transient: the computation itself is
+// fine, the attempt hit a passing condition (an injected fault, a flaky
+// dependency, momentary overload) and retrying it is worthwhile. Retry
+// engines match it via errors.As / Transient; Unwrap preserves errors.Is
+// against the underlying cause.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return fmt.Sprintf("transient: %v", e.Err) }
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// ResourceLimit resolves the cap these limits impose on a named budget
+// resource — the Resource strings ExceededError reports. Dimensions with
+// library safety defaults resolve to them; purely optional dimensions
+// ("symexec-paths", "sim-events"/"trace-packets", "dpi-bytes") resolve to 0
+// when unset, meaning unlimited.
+func (l Limits) ResourceLimit(resource string) int64 {
+	switch resource {
+	case "symexec-steps":
+		return l.SymExecStepLimit()
+	case "symexec-paths":
+		return l.SymExecPaths
+	case "sim-steps":
+		return l.SimStepLimit()
+	case "sim-events", "trace-packets":
+		return l.SimEvents
+	case "flow-entries":
+		return l.FlowEntryLimit()
+	case "dpi-bytes":
+		return l.DPIBytes
+	}
+	return 0
+}
+
+// Transient partitions pipeline errors by retryability against an operator
+// ceiling. Worth retrying: explicitly marked TransientError values (injected
+// faults), Guard-recovered panics (the invariant violation may be
+// load-dependent — and one attempt must never condemn the job), and
+// deadline expiries (a retry runs under a fresh deadline). Fail-fast:
+// plain cancellation (the caller is gone or the server is draining), and
+// budget trips at the ceiling — the operator will not grant more, so the
+// rerun deterministically trips again. A budget trip *below* the ceiling
+// that produced partial results is classified transient: it names a
+// clamped attempt, not an impossible request.
+func Transient(err error, ceiling Limits) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var ee *ExceededError
+	if errors.As(err, &ee) {
+		ceil := ceiling.ResourceLimit(ee.Resource)
+		return ee.Partial != nil && ceil > 0 && ee.Limit < ceil
+	}
+	return false
+}
+
 // PanicError is an internal invariant violation converted into a structured
 // error by Guard, carrying the failing stage, the NF under analysis, the
 // recovered value and the stack.

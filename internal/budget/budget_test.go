@@ -3,6 +3,7 @@ package budget
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -163,5 +164,65 @@ func TestClamp(t *testing.T) {
 	req := Limits{SymExecSteps: 5, SimEvents: 7}
 	if got := Clamp(req, Limits{}); got != req {
 		t.Errorf("Clamp with zero ceiling = %+v, want %+v", got, req)
+	}
+}
+
+// TestTransientClassification pins the retryability table the job engine
+// relies on: which pipeline errors are worth another attempt against an
+// operator ceiling, and which deterministically fail again.
+func TestTransientClassification(t *testing.T) {
+	ceiling := Limits{SimEvents: 1000}
+	partial := &struct{}{}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"marked transient", &TransientError{Err: errors.New("flaky")}, true},
+		{"wrapped transient", fmt.Errorf("attempt: %w", &TransientError{Err: errors.New("flaky")}), true},
+		{"guarded panic", &PanicError{Stage: "sim", NF: "fw", Value: "boom"}, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"canceled", context.Canceled, false},
+		{"typed cancel wrapping Canceled", &CanceledError{Stage: "sim", NF: "fw", Err: context.Canceled}, false},
+		{"typed cancel wrapping deadline", &CanceledError{Stage: "sim", NF: "fw", Err: context.DeadlineExceeded}, true},
+		{"trip below ceiling with partial", &ExceededError{Resource: "sim-events", Limit: 100, Partial: partial}, true},
+		{"trip at ceiling", &ExceededError{Resource: "sim-events", Limit: 1000, Partial: partial}, false},
+		{"trip without partial", &ExceededError{Resource: "sim-events", Limit: 100}, false},
+		{"trip on unlimited resource", &ExceededError{Resource: "sympaths-unknown", Limit: 100, Partial: partial}, false},
+		{"plain error", errors.New("syntax error"), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err, ceiling); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestResourceLimitResolution checks the Resource-string → cap mapping,
+// including safety defaults for the always-bounded dimensions and 0
+// (unlimited) for the purely optional ones.
+func TestResourceLimitResolution(t *testing.T) {
+	set := Limits{SymExecSteps: 10, SymExecPaths: 20, SimSteps: 30, SimEvents: 40, FlowEntries: 50, DPIBytes: 60}
+	cases := []struct {
+		resource   string
+		set, unset int64
+	}{
+		{"symexec-steps", 10, DefaultSymExecSteps},
+		{"symexec-paths", 20, 0},
+		{"sim-steps", 30, DefaultSimSteps},
+		{"sim-events", 40, 0},
+		{"trace-packets", 40, 0},
+		{"flow-entries", 50, DefaultFlowEntries},
+		{"dpi-bytes", 60, 0},
+		{"no-such-resource", 0, 0},
+	}
+	for _, c := range cases {
+		if got := set.ResourceLimit(c.resource); got != c.set {
+			t.Errorf("%s with explicit limits = %d, want %d", c.resource, got, c.set)
+		}
+		if got := (Limits{}).ResourceLimit(c.resource); got != c.unset {
+			t.Errorf("%s with zero limits = %d, want %d", c.resource, got, c.unset)
+		}
 	}
 }

@@ -1,0 +1,104 @@
+package jobs
+
+// wfq is a stride scheduler over per-tenant FIFO queues: each dequeue picks
+// the active tenant with the smallest virtual "pass" and advances it by
+// 1/weight, so over any busy interval tenants receive service in proportion
+// to their weights — a tenant flooding the queue delays itself, not its
+// neighbours. Ties break on tenant name so dispatch order is deterministic
+// for a fixed submission sequence. Not safe for concurrent use; the engine
+// serializes access under its mutex.
+type wfq struct {
+	weights map[string]float64
+	tenants map[string]*tenantQ
+	active  []*tenantQ
+	// virt is the pass of the last dispatched job — the scheduler's virtual
+	// clock. A tenant going idle and returning resumes at max(own pass,
+	// virt), so sleeping never banks credit for a later burst.
+	virt  float64
+	count int
+}
+
+type tenantQ struct {
+	name   string
+	weight float64
+	pass   float64
+	q      []*job
+}
+
+func newWFQ(weights map[string]float64) *wfq {
+	return &wfq{weights: weights, tenants: map[string]*tenantQ{}}
+}
+
+func (w *wfq) push(j *job) {
+	tq, ok := w.tenants[j.tenant]
+	if !ok {
+		weight := w.weights[j.tenant]
+		if weight <= 0 {
+			weight = 1
+		}
+		tq = &tenantQ{name: j.tenant, weight: weight}
+		w.tenants[j.tenant] = tq
+	}
+	if len(tq.q) == 0 {
+		if tq.pass < w.virt {
+			tq.pass = w.virt
+		}
+		w.active = append(w.active, tq)
+	}
+	tq.q = append(tq.q, j)
+	w.count++
+}
+
+// next dequeues the head job of the min-pass tenant, or nil when idle.
+func (w *wfq) next() *job {
+	if len(w.active) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(w.active); i++ {
+		a, b := w.active[i], w.active[best]
+		if a.pass < b.pass || (a.pass == b.pass && a.name < b.name) {
+			best = i
+		}
+	}
+	tq := w.active[best]
+	j := tq.q[0]
+	tq.q[0] = nil
+	tq.q = tq.q[1:]
+	w.count--
+	w.virt = tq.pass
+	tq.pass += 1 / tq.weight
+	if len(tq.q) == 0 {
+		w.active = append(w.active[:best], w.active[best+1:]...)
+	}
+	return j
+}
+
+// remove unlinks a specific queued job (cancellation); reports whether it
+// was present.
+func (w *wfq) remove(j *job) bool {
+	tq, ok := w.tenants[j.tenant]
+	if !ok {
+		return false
+	}
+	for i := range tq.q {
+		if tq.q[i] == j {
+			tq.q = append(tq.q[:i], tq.q[i+1:]...)
+			w.count--
+			if len(tq.q) == 0 {
+				for k := range w.active {
+					if w.active[k] == tq {
+						w.active = append(w.active[:k], w.active[k+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wfq) empty() bool { return w.count == 0 }
+
+func (w *wfq) len() int { return w.count }

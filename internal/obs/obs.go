@@ -71,6 +71,17 @@ func (g *Gauge) Set(n int64) {
 	g.v.Store(n)
 }
 
+// Add increments the gauge by n (negative n decrements); a nil receiver is
+// a no-op. Level-style gauges (queue depth, in-flight work) use it so
+// concurrent up/down transitions never lose updates the way read-modify-Set
+// would.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() int64 {
 	if g == nil {
@@ -378,21 +389,73 @@ func upperBound(i int) string {
 	return fmt.Sprintf("%d", (uint64(1)<<uint(i))-1)
 }
 
-// Quantile estimates the q-th (0..1) quantile of a histogram snapshot by
-// log-linear interpolation inside the winning bucket — good enough for
-// operator-facing summaries; exact values need the raw events.
+// Quantile estimates the q-th (0..1) quantile of a histogram by log-linear
+// interpolation inside the winning bucket — good enough for operator-facing
+// summaries; exact values need the raw events.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil || q < 0 || q > 1 {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's counts. Histograms
+// are cumulative over the process lifetime; windowed views — "p99 over the
+// last second", the signal adaptive load shedding needs — come from diffing
+// two snapshots with Sub.
+type HistSnapshot struct {
+	Count, Sum int64
+	Buckets    [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current counts (zero snapshot on nil).
+// The copy is not atomic across buckets; concurrent observers can leave a
+// snapshot momentarily off by the in-flight observations, which windowed
+// quantile estimation tolerates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub returns the observations recorded after prev: the window between two
+// snapshots of the same histogram. Negative deltas (prev from a different
+// histogram, or torn reads) clamp to zero.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	if n := s.Count - prev.Count; n > 0 {
+		d.Count = n
+	}
+	if n := s.Sum - prev.Sum; n > 0 {
+		d.Sum = n
+	}
+	for i := range s.Buckets {
+		if n := s.Buckets[i] - prev.Buckets[i]; n > 0 {
+			d.Buckets[i] = n
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-th (0..1) quantile of the snapshot, with the
+// same interpolation Histogram.Quantile uses. NaN on an empty snapshot or
+// out-of-range q.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
 		return math.NaN()
 	}
-	total := h.count.Load()
+	total := s.Count
 	if total == 0 {
 		return math.NaN()
 	}
 	rank := q * float64(total)
 	cum := int64(0)
 	for i := 0; i < histBuckets; i++ {
-		n := h.buckets[i].Load()
+		n := s.Buckets[i]
 		if n == 0 {
 			continue
 		}

@@ -262,3 +262,54 @@ func TestHistogramHugeSampleExposition(t *testing.T) {
 		t.Errorf("Quantile(1) with a max-int64 sample = %v", q)
 	}
 }
+
+func TestGaugeAdd(t *testing.T) {
+	m := New()
+	g := m.Gauge("clara_jobs_queue_depth")
+	g.Add(5)
+	g.Add(3)
+	g.Add(-6)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after +5+3-6 = %d, want 2", got)
+	}
+	// Add on a nil sink's gauge is a no-op, like every other instrument.
+	(*Metrics)(nil).Gauge("clara_jobs_queue_depth").Add(7)
+}
+
+// TestHistogramSnapshotWindow exercises the Snapshot/Sub machinery the load
+// shedder builds its windowed p99 on: a diff of two snapshots must describe
+// only the observations between them, and diffing against a foreign
+// snapshot clamps instead of going negative.
+func TestHistogramSnapshotWindow(t *testing.T) {
+	m := New()
+	h := m.Histogram("clara_http_request_nanos", "endpoint", "jobs")
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 20) // a slow first epoch, ~1ms
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // a fast second epoch
+	}
+	win := h.Snapshot().Sub(prev)
+	if win.Count != 100 {
+		t.Fatalf("window count = %d, want the 100 post-snapshot observations", win.Count)
+	}
+	if q := win.Quantile(0.99); math.IsNaN(q) || q >= 1<<20 {
+		t.Fatalf("windowed p99 = %v still sees the slow epoch", q)
+	}
+	// The cumulative view still covers both epochs.
+	if q := h.Quantile(0.99); q < 1<<19 {
+		t.Fatalf("cumulative p99 = %v lost the slow epoch", q)
+	}
+	// An empty window has no quantile.
+	cur := h.Snapshot()
+	if q := cur.Sub(cur).Quantile(0.99); !math.IsNaN(q) {
+		t.Fatalf("empty window quantile = %v, want NaN", q)
+	}
+	// Sub against an unrelated, larger snapshot clamps to zero.
+	big := HistSnapshot{Count: 1 << 30, Sum: 1 << 40}
+	d := h.Snapshot().Sub(big)
+	if d.Count != 0 || d.Sum != 0 {
+		t.Fatalf("negative delta leaked through: %+v", d)
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU[string, int](2)
+	var evicted []string
+	c.onEvict = func(k string, v int) { evicted = append(evicted, fmt.Sprintf("%s=%d", k, v)) }
+
+	c.add("a", 1)
+	c.add("b", 2)
+	// Touch "a" so "b" is the LRU victim.
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a: (%d, %v)", v, ok)
+	}
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted despite a recent touch")
+	}
+	if len(evicted) != 1 || evicted[0] != "b=2" {
+		t.Fatalf("evictions %v, want exactly [b=2]", evicted)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+}
+
+func TestLRURefreshAtCapacityDoesNotEvict(t *testing.T) {
+	c := newLRU[string, int](2)
+	evictions := 0
+	c.onEvict = func(string, int) { evictions++ }
+
+	c.add("a", 1)
+	c.add("b", 2)
+	// Refreshing an existing key while full must update in place, not push
+	// the cache over capacity and evict a bystander.
+	c.add("a", 10)
+	if evictions != 0 {
+		t.Fatalf("%d evictions after refreshing an existing key", evictions)
+	}
+	if v, ok := c.get("a"); !ok || v != 10 {
+		t.Fatalf("get a after refresh: (%d, %v), want (10, true)", v, ok)
+	}
+	if v, ok := c.get("b"); !ok || v != 2 {
+		t.Fatalf("get b after refresh: (%d, %v), want (2, true)", v, ok)
+	}
+	// The refresh also marked "a" recently used: adding a third key must
+	// evict "b".
+	c.get("a")
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; refresh did not update recency")
+	}
+}
+
+func TestLRUEvictCallbackRunsOutsideLock(t *testing.T) {
+	c := newLRU[string, int](1)
+	// A callback that re-enters the cache deadlocks if onEvict were invoked
+	// under the mutex. Only the first eviction re-enters, or the cap-1
+	// cache would recurse forever.
+	reentered := false
+	c.onEvict = func(k string, v int) {
+		if k != "a" {
+			return
+		}
+		c.add("from-callback-"+k, v)
+		_, _ = c.get("from-callback-" + k)
+		reentered = true
+	}
+	c.add("a", 1)
+	c.add("b", 2) // evicts a → callback re-enters, evicting b
+	if !reentered {
+		t.Fatal("eviction callback never ran")
+	}
+	if _, ok := c.get("from-callback-a"); !ok {
+		t.Fatal("re-entrant add from the callback was lost")
+	}
+}
+
+func TestLRUDegenerateCapacity(t *testing.T) {
+	c := newLRU[string, int](0) // clamps to 1
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("single-slot cache retained two entries")
+	}
+	if v, ok := c.get("b"); !ok || v != 2 {
+		t.Fatalf("get b: (%d, %v)", v, ok)
+	}
+}

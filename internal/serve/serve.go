@@ -45,6 +45,7 @@ import (
 	"clara"
 	"clara/internal/budget"
 	"clara/internal/cliutil"
+	"clara/internal/jobs"
 	"clara/internal/obs"
 )
 
@@ -84,6 +85,43 @@ type Config struct {
 	// Metrics receives all server and pipeline metrics; nil creates a
 	// fresh registry (exposed at /metrics either way).
 	Metrics *obs.Metrics
+
+	// JobWorkers is the async job engine's worker-pool size (default 4).
+	JobWorkers int
+	// JobQueueDepth bounds jobs admitted but not yet terminal; POST /v1/jobs
+	// beyond it returns 503 (default 256).
+	JobQueueDepth int
+	// JobMaxAttempts bounds executions per job, first try included
+	// (default 3).
+	JobMaxAttempts int
+	// JobBackoff is the base retry delay, doubling per retry with
+	// deterministic jitter (default 50ms).
+	JobBackoff time.Duration
+	// JobTTL is how long terminal job results stay pollable and how stale a
+	// queued job may grow before it expires unrun (default 15m).
+	JobTTL time.Duration
+	// JobSeed fixes the retry-jitter pattern (and pairs with Chaos.Seed in
+	// the chaos harness's determinism contract).
+	JobSeed int64
+	// TenantWeights maps the "tenant" request field to a weighted-fair
+	// share of the job workers; absent tenants weigh 1.
+	TenantWeights map[string]float64
+	// ShedQueue sheds new job submissions once the dispatch queue reaches
+	// this depth — an early-warning bound below the hard JobQueueDepth
+	// (default 3/4 of it; negative disables).
+	ShedQueue int
+	// ShedP99 sheds new job submissions while the windowed p99 request
+	// latency exceeds it (0 disables the latency signal).
+	ShedP99 time.Duration
+	// Breaker parameterizes the per-endpoint circuit breakers; the zero
+	// value selects the jobs.BreakerConfig defaults.
+	Breaker jobs.BreakerConfig
+	// Chaos, when non-nil, fault-injects every computation (sync and async)
+	// for resilience testing. Never set it in production.
+	Chaos *jobs.Chaos
+	// SelfCheckEvery caps how often /readyz re-runs its end-to-end probe
+	// prediction; between runs the cached verdict is served (default 15s).
+	SelfCheckEvery time.Duration
 }
 
 // Server is the HTTP prediction service. Create with New, mount Handler,
@@ -106,6 +144,13 @@ type Server struct {
 	flight  flightGroup
 	sem     chan struct{}
 
+	// engine runs deferred work submitted via POST /v1/jobs; breakers trip
+	// per analysis endpoint when computations start failing; shed rejects
+	// job submissions before the queue saturates.
+	engine   *jobs.Engine
+	breakers map[string]*jobs.Breaker
+	shed     *jobs.Shedder
+
 	library map[string]string // NF name → source
 	mux     *http.ServeMux
 
@@ -114,6 +159,17 @@ type Server struct {
 	draining bool
 	drained  chan struct{}
 	drainOne sync.Once
+
+	// chaos is swappable at runtime (SetChaos) so tests can switch fault
+	// injection off mid-run and watch the breakers recover.
+	chaosMu sync.Mutex
+	chaos   *jobs.Chaos
+
+	// readyz self-check cache: the probe prediction runs at most once per
+	// SelfCheckEvery.
+	readyMu  sync.Mutex
+	readyAt  time.Time
+	readyErr error
 
 	// testComputeGate, when non-nil, runs at the start of every computation
 	// (after semaphore admission); tests use it to pin work in flight.
@@ -134,6 +190,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultCacheSize < 1 {
 		cfg.ResultCacheSize = 1024
 	}
+	if cfg.JobWorkers < 1 {
+		cfg.JobWorkers = 4
+	}
+	if cfg.JobQueueDepth < 1 {
+		cfg.JobQueueDepth = 256
+	}
+	if cfg.ShedQueue == 0 {
+		cfg.ShedQueue = 3 * cfg.JobQueueDepth / 4
+	}
+	if cfg.SelfCheckEvery <= 0 {
+		cfg.SelfCheckEvery = 15 * time.Second
+	}
+	if err := cfg.Chaos.Validate(); err != nil {
+		return nil, err
+	}
 	m := cfg.Metrics
 	if m == nil {
 		m = obs.New()
@@ -150,12 +221,40 @@ func New(cfg Config) (*Server, error) {
 		sem:        make(chan struct{}, cfg.MaxInflight),
 		library:    map[string]string{},
 		drained:    make(chan struct{}),
+		chaos:      cfg.Chaos,
 	}
 	s.nfs.onEvict = func(string, *clara.NF) {
 		m.Counter("clara_serve_nf_cache_evictions_total").Inc()
 	}
 	s.results.onEvict = func(string, []byte) {
 		m.Counter("clara_serve_result_cache_evictions_total").Inc()
+	}
+	s.engine = jobs.NewEngine(base, jobs.Config{
+		Workers:     cfg.JobWorkers,
+		QueueDepth:  cfg.JobQueueDepth,
+		MaxAttempts: cfg.JobMaxAttempts,
+		Backoff:     cfg.JobBackoff,
+		TTL:         cfg.JobTTL,
+		Seed:        cfg.JobSeed,
+		Weights:     cfg.TenantWeights,
+		Transient:   func(err error) bool { return budget.Transient(err, cfg.MaxBudget) },
+		Chaos:       s.currentChaos,
+		Metrics:     m,
+	})
+	s.breakers = map[string]*jobs.Breaker{}
+	for _, endpoint := range []string{"advise", "predict", "partial", "measure"} {
+		endpoint := endpoint
+		bc := cfg.Breaker
+		bc.OnTransition = func(from, to string) {
+			m.Counter("clara_breaker_transitions_total", "endpoint", endpoint, "to", to).Inc()
+		}
+		s.breakers[endpoint] = jobs.NewBreaker(bc)
+	}
+	if cfg.ShedQueue > 0 || cfg.ShedP99 > 0 {
+		s.shed = jobs.NewShedder(jobs.ShedConfig{
+			MaxDepth: cfg.ShedQueue,
+			P99:      cfg.ShedP99,
+		}, m.Histogram("clara_http_request_nanos", "endpoint", "jobs"), s.engine.Depth)
 	}
 	if cfg.NFDir != "" {
 		paths, err := filepath.Glob(filepath.Join(cfg.NFDir, "*.nf"))
@@ -177,10 +276,16 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/partial", s.instrument("partial", s.handlePartial))
 	mux.Handle("/v1/measure", s.instrument("measure", s.handleMeasure))
 	mux.Handle("/v1/nfs", s.instrument("nfs", s.handleNFs))
+	mux.Handle("/v1/jobs", s.instrument("jobs", s.handleJobs))
+	mux.Handle("/v1/jobs/", s.instrument("jobs", s.handleJobByID))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Liveness (/healthz) answers "is the process up"; readiness answers
+	// "should this replica take traffic". /readyz is deliberately NOT
+	// instrumented: it must keep answering (503) while the server drains.
+	mux.HandleFunc("/readyz", s.handleReady)
 	s.mux = mux
 	return s, nil
 }
@@ -206,6 +311,27 @@ func (s *Server) LibrarySize() int {
 // Metrics returns the registry the server records into.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
+// Jobs returns the async job engine (tests inspect it; operators use the
+// /v1/jobs API).
+func (s *Server) Jobs() *jobs.Engine { return s.engine }
+
+// Breaker returns the named endpoint's circuit breaker, or nil.
+func (s *Server) Breaker(endpoint string) *jobs.Breaker { return s.breakers[endpoint] }
+
+// SetChaos swaps the fault-injection middleware at runtime. The chaos
+// harness uses it to stop injecting and watch the breakers recover.
+func (s *Server) SetChaos(c *jobs.Chaos) {
+	s.chaosMu.Lock()
+	s.chaos = c
+	s.chaosMu.Unlock()
+}
+
+func (s *Server) currentChaos() *jobs.Chaos {
+	s.chaosMu.Lock()
+	defer s.chaosMu.Unlock()
+	return s.chaos
+}
+
 // Shutdown drains the server: new requests are refused with 503
 // immediately, in-flight analyses run to completion, and if ctx expires
 // first they are hard-aborted through the pipeline's cancellation plumbing
@@ -219,10 +345,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.drainOne.Do(func() { close(s.drained) })
 	}
 	s.mu.Unlock()
+	// Drain the job engine first: queued and retry-waiting jobs settle as
+	// canceled immediately, in-flight attempts get until the deadline.
+	// Every accepted job is terminal when Drain returns, deadline or not.
+	engineErr := s.engine.Drain(ctx)
 	select {
 	case <-s.drained:
 		s.baseCancel()
-		return nil
+		return engineErr
 	case <-ctx.Done():
 		s.baseCancel()
 		<-s.drained
@@ -275,6 +405,12 @@ type Request struct {
 	// is deliberately NOT part of the result cache key: a request with
 	// shards=8 is answered from a cached shards=1 run, byte for byte.
 	Shards int `json:"shards,omitempty"`
+	// Kind and Tenant apply to POST /v1/jobs only: Kind picks the deferred
+	// computation ("advise", "predict", "partial", "measure" or "sweep" —
+	// a predict across every known target) and Tenant names the
+	// weighted-fair scheduling bucket the job bills to.
+	Kind   string `json:"kind,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -289,20 +425,45 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 	hist := s.metrics.Histogram("clara_http_request_nanos", "endpoint", endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		var code int
-		if !s.enter() {
-			code = writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
-		} else {
-			// leave is deferred so the active count is released even if the
-			// handler panics (net/http recovers per connection); otherwise
-			// Shutdown's active==0 drain condition could never be met.
-			defer s.leave()
-			code = h(w, r)
-		}
+		code := s.admit(endpoint, w, r, h)
 		hist.ObserveSince(start)
 		s.metrics.Counter("clara_http_requests_total",
 			"endpoint", endpoint, "code", strconv.Itoa(code)).Inc()
 	})
+}
+
+// admit runs drain gating and the endpoint's circuit breaker (when it has
+// one) around the handler.
+func (s *Server) admit(endpoint string, w http.ResponseWriter, r *http.Request,
+	h func(w http.ResponseWriter, r *http.Request) int) int {
+
+	if !s.enter() {
+		return writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+	}
+	// leave is deferred so the active count is released even if the
+	// handler panics (net/http recovers per connection); otherwise
+	// Shutdown's active==0 drain condition could never be met.
+	defer s.leave()
+	br := s.breakers[endpoint]
+	if br == nil {
+		return h(w, r)
+	}
+	if ok, retry := br.Allow(); !ok {
+		return writeRetryError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("endpoint %s shedding load: circuit breaker %s", endpoint, br.State()), retry)
+	}
+	// An admitted request must record exactly one outcome, or half-open
+	// probe accounting leaks; a panicking handler records a failure.
+	recorded := false
+	defer func() {
+		if !recorded {
+			br.Record(true)
+		}
+	}()
+	code := h(w, r)
+	recorded = true
+	br.Record(code >= http.StatusInternalServerError)
+	return code
 }
 
 func writeError(w http.ResponseWriter, code int, err error) int {
@@ -310,6 +471,17 @@ func writeError(w http.ResponseWriter, code int, err error) int {
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 	return code
+}
+
+// writeRetryError is writeError plus a Retry-After hint (whole seconds,
+// rounded up so "300ms" does not truncate to "retry now").
+func writeRetryError(w http.ResponseWriter, code int, err error, retryAfter time.Duration) int {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	return writeError(w, code, err)
 }
 
 func writeBody(w http.ResponseWriter, cache string, body []byte) int {
@@ -327,7 +499,12 @@ func writeBody(w http.ResponseWriter, cache string, body []byte) int {
 // targets, infeasible mappings, malformed workload specs — is a 400.
 func statusFor(err error) int {
 	var pe *budget.PanicError
+	var te *budget.TransientError
 	switch {
+	case errors.As(err, &te):
+		// A transient failure (injected fault, momentary overload) is worth
+		// the client retrying — 503, like every other "try again" answer.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, budget.Exceeded):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
@@ -341,14 +518,35 @@ func statusFor(err error) int {
 	}
 }
 
-// decode parses and bounds a request body.
-func decode(r *http.Request, into *Request) error {
+// errTooLarge marks a request body over the size bound; decodeStatus maps
+// it to 413 rather than the generic 400.
+var errTooLarge = errors.New("request body too large")
+
+// decode parses and bounds a request body. MaxBytesReader gets the real
+// ResponseWriter so an over-limit POST also has its connection closed,
+// instead of the server politely reading megabytes it will reject anyway.
+func decode(w http.ResponseWriter, r *http.Request, into *Request) error {
 	if r.Method != http.MethodPost {
 		return fmt.Errorf("method %s not allowed; POST a JSON request", r.Method)
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	return dec.Decode(into)
+	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w (limit %d bytes)", errTooLarge, mbe.Limit)
+		}
+		return err
+	}
+	return nil
+}
+
+// decodeStatus maps a decode error to its HTTP status.
+func decodeStatus(err error) int {
+	if errors.Is(err, errTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // resolveSource maps a request to concrete NF source text.
@@ -388,16 +586,72 @@ func (s *Server) compiledNF(hash, source string) (*clara.NF, error) {
 	return nf, nil
 }
 
-// analyze is the shared request path behind the three analysis endpoints:
-// resolve + hash the NF, consult the result cache, and on a miss run
-// compute under singleflight, bounded concurrency, and the clamped
-// per-request context, caching the rendered body on success.
+// resultKey is the rendered-result cache identity: endpoint + NF hash +
+// every input that changes the answer. Seed and Faults are simulation
+// inputs (measure); Shards is excluded on purpose — shard-count invariance
+// makes it a pure scheduling knob. Timeout is excluded too: a rendered
+// body is valid for any deadline.
+func resultKey(endpoint, hash string, req *Request) string {
+	return strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget,
+		strconv.FormatInt(req.Seed, 10), req.Faults}, "\x00")
+}
+
+// computeBody runs one full analysis — bounded concurrency, compile-or-
+// cached NF, clamped per-request context — and renders and caches the
+// result body. It is the shared execution core under both the synchronous
+// endpoints (via singleflight) and async job attempts; parent is s.base
+// for the former and the attempt context for the latter, so job
+// cancellation and drain aborts flow through the same plumbing.
+func (s *Server) computeBody(parent context.Context, endpoint, cacheKey, hash, source string, req *Request,
+	compute func(ctx context.Context, nf *clara.NF, req *Request) (any, error)) ([]byte, error) {
+
+	// Bounded concurrency: at most MaxInflight computations execute; the
+	// rest queue here unless the computation is already aborted.
+	select {
+	case s.sem <- struct{}{}:
+	case <-parent.Done():
+		return nil, &budget.CanceledError{Stage: "serve", Err: parent.Err()}
+	}
+	defer func() { <-s.sem }()
+
+	if s.testComputeGate != nil {
+		s.testComputeGate()
+	}
+	nf, err := s.compiledNF(hash, source)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := cliutil.RequestContext(parent, req.Timeout, req.Budget, s.cfg.MaxTimeout, s.cfg.MaxBudget)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	ctx = obs.With(ctx, s.metrics)
+	ctx = budget.WithUsage(ctx, s.usage)
+
+	s.metrics.Counter("clara_serve_computations_total", "endpoint", endpoint).Inc()
+	out, err := compute(ctx, nf, req)
+	if err != nil {
+		return nil, err
+	}
+	rendered, err := json.Marshal(out)
+	if err != nil {
+		return nil, &budget.PanicError{Stage: "serve", NF: nf.Name(), Value: err}
+	}
+	s.results.add(cacheKey, rendered)
+	return rendered, nil
+}
+
+// analyze is the shared request path behind the synchronous analysis
+// endpoints: resolve + hash the NF, consult the result cache, and on a
+// miss run compute under singleflight, bounded concurrency, and the
+// clamped per-request context, caching the rendered body on success.
 func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string,
 	compute func(ctx context.Context, nf *clara.NF, req *Request) (any, error)) int {
 
 	var req Request
-	if err := decode(r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+	if err := decode(w, r, &req); err != nil {
+		return writeError(w, decodeStatus(err), err)
 	}
 	source, err := s.resolveSource(&req)
 	if err != nil {
@@ -405,10 +659,7 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	}
 	sum := sha256.Sum256([]byte(source))
 	hash := hex.EncodeToString(sum[:])
-	// Seed and Faults are simulation inputs (measure); Shards is excluded
-	// on purpose — shard-count invariance makes it a pure scheduling knob.
-	key := strings.Join([]string{endpoint, hash, req.Target, req.Workload, req.Budget,
-		strconv.FormatInt(req.Seed, 10), req.Faults}, "\x00")
+	key := resultKey(endpoint, hash, &req)
 	// The computation runs under the flight leader's clamped deadline, so
 	// sharing is scoped to requests with an identical timeout spec — a
 	// generous request must not inherit a 504 from a 1ms leader. The result
@@ -423,41 +674,19 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	s.metrics.Counter("clara_serve_cache_misses_total", "endpoint", endpoint).Inc()
 
 	body, err, shared := s.flight.do(flightKey, func() ([]byte, error) {
-		// Bounded concurrency: at most MaxInflight computations execute;
-		// the rest queue here unless the server is already aborting.
-		select {
-		case s.sem <- struct{}{}:
-		case <-s.base.Done():
-			return nil, &budget.CanceledError{Stage: "serve", Err: s.base.Err()}
+		run := func() ([]byte, error) {
+			return s.computeBody(s.base, endpoint, key, hash, source, &req, compute)
 		}
-		defer func() { <-s.sem }()
-
-		if s.testComputeGate != nil {
-			s.testComputeGate()
+		// With chaos enabled the injected faults (including panics) must
+		// stay inside this flight, so it runs under a Guard boundary; with
+		// chaos off the path is exactly the production one — a real panic
+		// propagates to net/http's per-connection recover.
+		if ch := s.currentChaos(); ch != nil {
+			return budget.Guard1("serve", endpoint, func() ([]byte, error) {
+				return ch.Do(flightKey, 0, run)
+			})
 		}
-		nf, err := s.compiledNF(hash, source)
-		if err != nil {
-			return nil, err
-		}
-		ctx, cancel, err := cliutil.RequestContext(s.base, req.Timeout, req.Budget, s.cfg.MaxTimeout, s.cfg.MaxBudget)
-		if err != nil {
-			return nil, err
-		}
-		defer cancel()
-		ctx = obs.With(ctx, s.metrics)
-		ctx = budget.WithUsage(ctx, s.usage)
-
-		s.metrics.Counter("clara_serve_computations_total", "endpoint", endpoint).Inc()
-		out, err := compute(ctx, nf, &req)
-		if err != nil {
-			return nil, err
-		}
-		rendered, err := json.Marshal(out)
-		if err != nil {
-			return nil, &budget.PanicError{Stage: "serve", NF: nf.Name(), Value: err}
-		}
-		s.results.add(key, rendered)
-		return rendered, nil
+		return run()
 	})
 	if shared {
 		s.metrics.Counter("clara_serve_singleflight_shared_total", "endpoint", endpoint).Inc()
@@ -479,17 +708,19 @@ type adviseResponse struct {
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) int {
-	return s.analyze(w, r, "advise", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
-		wl, err := clara.ParseWorkload(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		advice, err := clara.AdviseContext(ctx, nf, wl, s.cfg.Parallel)
-		if err != nil {
-			return nil, err
-		}
-		return adviseResponse{NF: nf.Name(), Workload: req.Workload, Advice: advice}, nil
-	})
+	return s.analyze(w, r, "advise", s.adviseCompute)
+}
+
+func (s *Server) adviseCompute(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+	wl, err := clara.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	advice, err := clara.AdviseContext(ctx, nf, wl, s.cfg.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	return adviseResponse{NF: nf.Name(), Workload: req.Workload, Advice: advice}, nil
 }
 
 type predictResponse struct {
@@ -500,21 +731,23 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
-	return s.analyze(w, r, "predict", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
-		t, err := clara.NewTarget(req.Target)
-		if err != nil {
-			return nil, err
-		}
-		wl, err := clara.ParseWorkload(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := nf.PredictContext(ctx, t, wl, clara.Hints{})
-		if err != nil {
-			return nil, err
-		}
-		return predictResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Prediction: pred}, nil
-	})
+	return s.analyze(w, r, "predict", s.predictCompute)
+}
+
+func (s *Server) predictCompute(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+	t, err := clara.NewTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := clara.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := nf.PredictContext(ctx, t, wl, clara.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	return predictResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Prediction: pred}, nil
 }
 
 type partialResponse struct {
@@ -525,21 +758,23 @@ type partialResponse struct {
 }
 
 func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) int {
-	return s.analyze(w, r, "partial", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
-		t, err := clara.NewTarget(req.Target)
-		if err != nil {
-			return nil, err
-		}
-		wl, err := clara.ParseWorkload(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		an, err := clara.AnalyzePartialContext(ctx, nf, t, wl, clara.DefaultPCIe(), s.cfg.Parallel)
-		if err != nil {
-			return nil, err
-		}
-		return partialResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Analysis: an}, nil
-	})
+	return s.analyze(w, r, "partial", s.partialCompute)
+}
+
+func (s *Server) partialCompute(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+	t, err := clara.NewTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := clara.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	an, err := clara.AnalyzePartialContext(ctx, nf, t, wl, clara.DefaultPCIe(), s.cfg.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	return partialResponse{NF: nf.Name(), Target: req.Target, Workload: req.Workload, Analysis: an}, nil
 }
 
 // measureResponse summarizes a simulator run. FlowCacheHitRate is a pointer
@@ -571,64 +806,101 @@ type measureResponse struct {
 // identical for every worker count, so cached results are shared across
 // requests that differ only in "shards".
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) int {
-	return s.analyze(w, r, "measure", func(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
-		t, err := clara.NewTarget(req.Target)
-		if err != nil {
-			return nil, err
-		}
-		wl, err := clara.ParseWorkload(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		prof, err := clara.ParseTrafficProfile(req.Workload)
-		if err != nil {
-			return nil, err
-		}
-		faults, err := clara.ParseFaults(req.Faults)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := clara.GenerateTraceContext(ctx, prof)
-		if err != nil {
-			return nil, err
-		}
-		m, err := nf.MapContext(ctx, t, wl, clara.Hints{})
-		if err != nil {
-			return nil, err
-		}
-		shards := req.Shards
-		if shards == 0 {
-			shards = s.cfg.SimShards
-		}
-		res, err := nf.MeasureOptionsContext(ctx, t, m, tr, req.Seed, clara.MeasureOptions{
-			Faults: faults, Shards: shards,
-		})
-		if err != nil {
-			return nil, err
-		}
-		drops := 0
-		for i := range res.Packets {
-			if res.Packets[i].Verdict != 0 {
-				drops++
-			}
-		}
-		out := measureResponse{
-			NF: nf.Name(), Target: req.Target, Workload: req.Workload,
-			Seed: req.Seed, Faults: req.Faults,
-			Packets: len(res.Packets), Drops: drops, Errors: res.Errors,
-			MeanCycles: res.MeanLatency(), MeanNanos: t.CyclesToNanos(res.MeanLatency()),
-			P50Cycles: res.Percentile(50), P99Cycles: res.Percentile(99),
-			Breakdown: res.MeanBreakdown(), CacheHitRate: res.CacheHitRate,
-		}
-		if fc := res.FlowCacheHitRate; fc == fc { // not NaN: the mapping has a flow cache
-			out.FlowCacheHitRate = &fc
-		}
-		if res.Faults.Any() {
-			fr := res.Faults
-			out.FaultReport = &fr
-		}
-		return out, nil
+	return s.analyze(w, r, "measure", s.measureCompute)
+}
+
+func (s *Server) measureCompute(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+	t, err := clara.NewTarget(req.Target)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := clara.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := clara.ParseTrafficProfile(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	faults, err := clara.ParseFaults(req.Faults)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := clara.GenerateTraceContext(ctx, prof)
+	if err != nil {
+		return nil, err
+	}
+	m, err := nf.MapContext(ctx, t, wl, clara.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.cfg.SimShards
+	}
+	res, err := nf.MeasureOptionsContext(ctx, t, m, tr, req.Seed, clara.MeasureOptions{
+		Faults: faults, Shards: shards,
 	})
+	if err != nil {
+		return nil, err
+	}
+	drops := 0
+	for i := range res.Packets {
+		if res.Packets[i].Verdict != 0 {
+			drops++
+		}
+	}
+	out := measureResponse{
+		NF: nf.Name(), Target: req.Target, Workload: req.Workload,
+		Seed: req.Seed, Faults: req.Faults,
+		Packets: len(res.Packets), Drops: drops, Errors: res.Errors,
+		MeanCycles: res.MeanLatency(), MeanNanos: t.CyclesToNanos(res.MeanLatency()),
+		P50Cycles: res.Percentile(50), P99Cycles: res.Percentile(99),
+		Breakdown: res.MeanBreakdown(), CacheHitRate: res.CacheHitRate,
+	}
+	if fc := res.FlowCacheHitRate; fc == fc { // not NaN: the mapping has a flow cache
+		out.FlowCacheHitRate = &fc
+	}
+	if res.Faults.Any() {
+		fr := res.Faults
+		out.FaultReport = &fr
+	}
+	return out, nil
+}
+
+// sweepResponse is the jobs-only "sweep" kind: one prediction per known
+// target, the batch shape of the paper's cross-NIC clarity question.
+type sweepResponse struct {
+	NF          string            `json:"nf"`
+	Workload    string            `json:"workload"`
+	Predictions []sweepPrediction `json:"predictions"`
+}
+
+type sweepPrediction struct {
+	Target     string            `json:"target"`
+	Prediction *clara.Prediction `json:"prediction"`
+}
+
+func (s *Server) sweepCompute(ctx context.Context, nf *clara.NF, req *Request) (any, error) {
+	wl, err := clara.ParseWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	targets := clara.Targets()
+	out := sweepResponse{NF: nf.Name(), Workload: req.Workload,
+		Predictions: make([]sweepPrediction, 0, len(targets))}
+	for _, name := range targets {
+		t, err := clara.NewTarget(name)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := nf.PredictContext(ctx, t, wl, clara.Hints{})
+		if err != nil {
+			return nil, fmt.Errorf("target %s: %w", name, err)
+		}
+		out.Predictions = append(out.Predictions, sweepPrediction{Target: name, Prediction: pred})
+	}
+	return out, nil
 }
 
 // NFInfo describes one library NF in GET /v1/nfs.

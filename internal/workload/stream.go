@@ -2,12 +2,41 @@ package workload
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
 	"clara/internal/budget"
 	"clara/internal/pcap"
 )
+
+// IngestError reports a capture that went bad mid-stream — most commonly a
+// truncated pcap record from an interrupted tcpdump. It carries the window
+// read before the failure (Partial) and the global index of that window's
+// first packet (Start), so a caller can still simulate the prefix and tell
+// the operator exactly where the capture died. Unwrap preserves errors.Is
+// against the underlying cause (e.g. pcap.ErrTruncated).
+type IngestError struct {
+	// NF labels the stream, mirroring the budget errors' NF field.
+	NF string
+	// Start is the global trace index of the first packet in Partial.
+	Start int
+	// Err is the underlying read error.
+	Err error
+	// Partial holds the packets read before the failure; may be empty.
+	Partial *Trace
+}
+
+func (e *IngestError) Error() string {
+	n := 0
+	if e.Partial != nil {
+		n = len(e.Partial.Packets)
+	}
+	return fmt.Sprintf("ingest %s: capture failed after %d packets (window start %d): %v",
+		e.NF, n, e.Start, e.Err)
+}
+
+func (e *IngestError) Unwrap() error { return e.Err }
 
 // TraceReader streams a pcap capture as bounded, contiguous trace windows
 // instead of materializing the whole capture: each NextWindow call holds at
@@ -83,7 +112,7 @@ func (t *TraceReader) NextWindow(ctx context.Context, max int) (*Trace, int, err
 		if err != nil {
 			t.done = true
 			t.account(ctx, win)
-			return win, start, err
+			return win, start, &IngestError{NF: t.name, Start: start, Err: err, Partial: win}
 		}
 		if t.first {
 			t.t0 = rec.Timestamp

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"clara/internal/budget"
+	"clara/internal/pcap"
 )
 
 func pcapFixture(t *testing.T, packets int) ([]byte, *Trace) {
@@ -108,6 +109,49 @@ func TestTraceReaderBudget(t *testing.T) {
 	// A tripped reader is exhausted.
 	if _, _, err := rd.NextWindow(ctx, 50); err != io.EOF {
 		t.Fatalf("post-trip read = %v, want io.EOF", err)
+	}
+}
+
+// TestTraceReaderTruncatedCapture chops a capture mid-record — the classic
+// interrupted-tcpdump failure — and requires the reader to surface a typed
+// *IngestError wrapping pcap.ErrTruncated, carrying the packets read before
+// the cut so callers can still simulate the prefix.
+func TestTraceReaderTruncatedCapture(t *testing.T) {
+	raw, want := pcapFixture(t, 20)
+	// Cut inside the final record: drop the last 3 bytes of its payload.
+	cut := raw[:len(raw)-3]
+	rd, err := NewTraceReader(bytes.NewReader(cut), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w1, start, err := rd.NextWindow(ctx, 10)
+	if err != nil || start != 0 || len(w1.Packets) != 10 {
+		t.Fatalf("window 1: %d packets at %d, err %v", len(w1.Packets), start, err)
+	}
+	w2, start, err := rd.NextWindow(ctx, 100)
+	var ie *IngestError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IngestError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, pcap.ErrTruncated) {
+		t.Fatalf("IngestError must unwrap to pcap.ErrTruncated, got %v", err)
+	}
+	if ie.NF != "fixture" || ie.Start != 10 || start != 10 {
+		t.Fatalf("error placement NF=%q Start=%d (window start %d), want fixture/10", ie.NF, ie.Start, start)
+	}
+	if ie.Partial != w2 || len(w2.Packets) != 9 {
+		t.Fatalf("partial window carries %d packets, want the 9 intact records before the cut", len(w2.Packets))
+	}
+	// The intact prefix matches the undamaged capture byte for byte.
+	for i, p := range w2.Packets {
+		if !reflect.DeepEqual(p, want.Packets[10+i]) {
+			t.Fatalf("partial packet %d differs from the undamaged capture", i)
+		}
+	}
+	// A failed reader is exhausted, matching the budget-trip contract.
+	if _, _, err := rd.NextWindow(ctx, 10); err != io.EOF {
+		t.Fatalf("post-failure read = %v, want io.EOF", err)
 	}
 }
 
