@@ -93,7 +93,7 @@ type stubEnv struct {
 	ret   map[string]uint64
 }
 
-func (e *stubEnv) VCall(in Instr, args []uint64) (uint64, error) {
+func (e *stubEnv) VCall(in *Instr, args []uint64) (uint64, error) {
 	e.calls = append(e.calls, in.Callee)
 	return e.ret[in.Callee], nil
 }

@@ -1,0 +1,459 @@
+package cir
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the compile-once execution engine. Compile translates
+// each basic block into a chain of per-instruction closures: every opcode is
+// specialized at compile time (the closure captures Dst/Args/Imm/Size
+// directly, so the per-step opcode switch and operand indirection disappear),
+// terminators are resolved to direct block indices, and malformed programs —
+// unknown opcodes, wrong arg counts, out-of-range registers or targets — are
+// rejected at compile time instead of mid-run.
+//
+// The interpreter (interp.go) remains the reference implementation.
+// Compiled.Run replicates Interp.Run exactly: same register/scratch zeroing,
+// same step accounting (block entries and instructions each cost one step,
+// checked against MaxSteps before executing), same cancellation poll period,
+// same error text, same VerdictPass defaulting. Differential tests
+// (FuzzCompiledVsInterp, TestCompiledOps, TestRunContextMatchesReference)
+// hold the two engines to identical (value, error string, steps) triples.
+
+// state is the mutable execution context threaded through instruction
+// closures. One state is embedded in each Compiled and reused across Runs,
+// so steady-state execution performs no heap allocations (the same contract
+// Interp documents).
+type state struct {
+	regs    []uint64
+	scratch []byte
+	// argbuf is the reusable vcall argument scratch, sized at Compile to the
+	// program's widest vcall; Env implementations must not retain it.
+	argbuf []uint64
+	env    Env
+}
+
+// instrFn executes one compiled instruction against the state. A non-nil
+// error is a runtime fault (division by zero, scratch bounds, vcall failure);
+// the driver wraps it with the instruction's precomputed location prefix.
+type instrFn func(*state) error
+
+// cblock is one compiled basic block: the closure chain, the source
+// instructions (for hooks, which receive the same *Instr pointers the
+// interpreter would pass), precomputed fault prefixes, and the terminator
+// flattened into direct fields.
+type cblock struct {
+	code []instrFn
+	meta []*Instr
+	// fail[i] is "cir: block %d %q" pre-rendered for instruction i, so a
+	// faulting packet pays one fmt.Errorf, not two.
+	fail []string
+	kind TermKind
+	cond Reg // TermBranch condition register
+	then int // TermJump/TermBranch target
+	els  int // TermBranch fallthrough
+	ret  Reg // TermReturn verdict register (NoReg → VerdictPass)
+}
+
+// Compiled is a program translated into closure chains. Like Interp it is
+// reusable across packets but not safe for concurrent Runs: registers,
+// scratch and the vcall argument buffer are shared mutable state.
+type Compiled struct {
+	prog   *Program
+	blocks []cblock
+	st     state
+}
+
+// Compile translates p into a Compiled engine. It validates what execution
+// depends on — opcode known, arity correct, registers and branch targets in
+// range — and fails fast on violations, so Run never encounters a malformed
+// instruction. Compile does not replace Verify (which additionally checks
+// vcall catalogs, state references and reachability); it refuses exactly the
+// programs it could not execute faithfully.
+func Compile(p *Program) (*Compiled, error) {
+	if len(p.Blocks) == 0 {
+		return nil, fmt.Errorf("cir: compile %s: program has no blocks", p.Name)
+	}
+	c := &Compiled{
+		prog:   p,
+		blocks: make([]cblock, len(p.Blocks)),
+	}
+	maxArity := 0
+	for bi := range p.Blocks {
+		blk := &p.Blocks[bi]
+		cb := &c.blocks[bi]
+		cb.code = make([]instrFn, len(blk.Instrs))
+		cb.meta = make([]*Instr, len(blk.Instrs))
+		cb.fail = make([]string, len(blk.Instrs))
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			where := fmt.Sprintf("block %d instr %d (%s)", bi, ii, in)
+			if err := checkArity(*in, where); err != nil {
+				return nil, err
+			}
+			if err := checkCompileRegs(p, in, where); err != nil {
+				return nil, err
+			}
+			fn, err := compileInstr(in, where)
+			if err != nil {
+				return nil, err
+			}
+			if in.Op == OpVCall && len(in.Args) > maxArity {
+				maxArity = len(in.Args)
+			}
+			cb.code[ii] = fn
+			cb.meta[ii] = in
+			cb.fail[ii] = fmt.Sprintf("cir: block %d %q", bi, in.String())
+		}
+		if err := compileTerm(p, bi, cb); err != nil {
+			return nil, err
+		}
+	}
+	c.st = state{
+		regs:    make([]uint64, p.NumRegs),
+		scratch: make([]byte, p.ScratchBytes),
+		argbuf:  make([]uint64, maxArity),
+	}
+	return c, nil
+}
+
+// checkCompileRegs rejects instructions whose registers the engine could not
+// address: Dst outside the register file (NoReg is fine — "no destination"),
+// or any operand that is NoReg or out of range.
+func checkCompileRegs(p *Program, in *Instr, where string) error {
+	if in.Dst != NoReg && (int(in.Dst) < 0 || int(in.Dst) >= p.NumRegs) {
+		return fmt.Errorf("cir: compile: %s: register %s out of range (NumRegs=%d)", where, in.Dst, p.NumRegs)
+	}
+	for _, a := range in.Args {
+		if a == NoReg {
+			return fmt.Errorf("cir: compile: %s: NoReg used as operand", where)
+		}
+		if int(a) < 0 || int(a) >= p.NumRegs {
+			return fmt.Errorf("cir: compile: %s: register %s out of range (NumRegs=%d)", where, a, p.NumRegs)
+		}
+	}
+	return nil
+}
+
+// compileTerm flattens and validates a block terminator.
+func compileTerm(p *Program, bi int, cb *cblock) error {
+	t := p.Blocks[bi].Term
+	cb.kind = t.Kind
+	switch t.Kind {
+	case TermJump:
+		if t.Then < 0 || t.Then >= len(p.Blocks) {
+			return fmt.Errorf("cir: compile: block %d jump target %d out of range", bi, t.Then)
+		}
+		cb.then = t.Then
+	case TermBranch:
+		if t.Then < 0 || t.Then >= len(p.Blocks) || t.Else < 0 || t.Else >= len(p.Blocks) {
+			return fmt.Errorf("cir: compile: block %d branch targets (%d,%d) out of range", bi, t.Then, t.Else)
+		}
+		if t.Cond == NoReg || int(t.Cond) < 0 || int(t.Cond) >= p.NumRegs {
+			return fmt.Errorf("cir: compile: block %d branch condition %s out of range (NumRegs=%d)", bi, t.Cond, p.NumRegs)
+		}
+		cb.cond = t.Cond
+		cb.then = t.Then
+		cb.els = t.Else
+	case TermReturn:
+		if t.Ret != NoReg && (int(t.Ret) < 0 || int(t.Ret) >= p.NumRegs) {
+			return fmt.Errorf("cir: compile: block %d return register %s out of range (NumRegs=%d)", bi, t.Ret, p.NumRegs)
+		}
+		cb.ret = t.Ret
+	default:
+		return fmt.Errorf("cir: compile: block %d has invalid terminator kind %d", bi, t.Kind)
+	}
+	return nil
+}
+
+// Float ops operate on IEEE-754 bit patterns stored in integer registers,
+// exactly as the interpreter does.
+func fAdd(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+
+func fMul(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+}
+
+func fDiv(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+}
+
+// nopFn is the shared closure for instructions with no effect: OpNop, and
+// any fault-free pure compute whose destination is NoReg (the interpreter
+// computes and discards the value; discarding at compile time is observably
+// identical because such instructions cannot fault).
+func nopFn(*state) error { return nil }
+
+// compileInstr builds the specialized closure for one instruction. Every
+// opcode in the Op enum must have a case here; TestCompiledOps walks opNames
+// to ensure a new opcode cannot land without one.
+func compileInstr(in *Instr, where string) (instrFn, error) {
+	d := in.Dst
+	// bin specializes the pure two-operand ops: with a real destination the
+	// closure captures three register indices and the op body; with NoReg it
+	// degenerates to the shared no-op (no fault, no visible effect).
+	bin := func(f func(a, b uint64) uint64) instrFn {
+		if d == NoReg {
+			return nopFn
+		}
+		a0, a1 := in.Args[0], in.Args[1]
+		return func(st *state) error {
+			st.regs[d] = f(st.regs[a0], st.regs[a1])
+			return nil
+		}
+	}
+	switch in.Op {
+	case OpNop:
+		return nopFn, nil
+	case OpConst:
+		if d == NoReg {
+			return nopFn, nil
+		}
+		imm := in.Imm
+		return func(st *state) error {
+			st.regs[d] = imm
+			return nil
+		}, nil
+	case OpCopy:
+		if d == NoReg {
+			return nopFn, nil
+		}
+		a0 := in.Args[0]
+		return func(st *state) error {
+			st.regs[d] = st.regs[a0]
+			return nil
+		}, nil
+	case OpAdd:
+		return bin(func(a, b uint64) uint64 { return a + b }), nil
+	case OpSub:
+		return bin(func(a, b uint64) uint64 { return a - b }), nil
+	case OpMul:
+		return bin(func(a, b uint64) uint64 { return a * b }), nil
+	case OpDiv:
+		a0, a1 := in.Args[0], in.Args[1]
+		return func(st *state) error {
+			b := st.regs[a1]
+			if b == 0 {
+				return ErrDivByZero
+			}
+			if d != NoReg {
+				st.regs[d] = st.regs[a0] / b
+			}
+			return nil
+		}, nil
+	case OpMod:
+		a0, a1 := in.Args[0], in.Args[1]
+		return func(st *state) error {
+			b := st.regs[a1]
+			if b == 0 {
+				return ErrModByZero
+			}
+			if d != NoReg {
+				st.regs[d] = st.regs[a0] % b
+			}
+			return nil
+		}, nil
+	case OpAnd:
+		return bin(func(a, b uint64) uint64 { return a & b }), nil
+	case OpOr:
+		return bin(func(a, b uint64) uint64 { return a | b }), nil
+	case OpXor:
+		return bin(func(a, b uint64) uint64 { return a ^ b }), nil
+	case OpShl:
+		return bin(func(a, b uint64) uint64 { return a << (b & 63) }), nil
+	case OpShr:
+		return bin(func(a, b uint64) uint64 { return a >> (b & 63) }), nil
+	case OpNot:
+		if d == NoReg {
+			return nopFn, nil
+		}
+		a0 := in.Args[0]
+		return func(st *state) error {
+			st.regs[d] = ^st.regs[a0]
+			return nil
+		}, nil
+	case OpEq:
+		return bin(func(a, b uint64) uint64 { return b2u(a == b) }), nil
+	case OpNe:
+		return bin(func(a, b uint64) uint64 { return b2u(a != b) }), nil
+	case OpLt:
+		return bin(func(a, b uint64) uint64 { return b2u(a < b) }), nil
+	case OpLe:
+		return bin(func(a, b uint64) uint64 { return b2u(a <= b) }), nil
+	case OpGt:
+		return bin(func(a, b uint64) uint64 { return b2u(a > b) }), nil
+	case OpGe:
+		return bin(func(a, b uint64) uint64 { return b2u(a >= b) }), nil
+	case OpFAdd:
+		return bin(fAdd), nil
+	case OpFMul:
+		return bin(fMul), nil
+	case OpFDiv:
+		return bin(fDiv), nil
+	case OpLoad:
+		a0, size := in.Args[0], in.Size
+		return func(st *state) error {
+			v, err := loadScratch(st.scratch, st.regs[a0], size)
+			if err != nil {
+				return err
+			}
+			if d != NoReg {
+				st.regs[d] = v
+			}
+			return nil
+		}, nil
+	case OpStore:
+		a0, a1, size := in.Args[0], in.Args[1], in.Size
+		return func(st *state) error {
+			return storeScratch(st.scratch, st.regs[a0], st.regs[a1], size)
+		}, nil
+	case OpVCall:
+		// The closure captures the instruction pointer: env.VCall receives
+		// the same *Instr the interpreter would pass, and the argument
+		// buffer follows the same reuse contract (valid only for the call).
+		args := in.Args
+		return func(st *state) error {
+			buf := st.argbuf[:len(args)]
+			for i, r := range args {
+				buf[i] = st.regs[r]
+			}
+			v, err := st.env.VCall(in, buf)
+			if err != nil {
+				return err
+			}
+			if d != NoReg {
+				st.regs[d] = v
+			}
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("cir: compile: %s: unknown opcode %s", where, in.Op)
+	}
+}
+
+// Reg returns the current value of a register (for tests), mirroring
+// Interp.Reg.
+func (c *Compiled) Reg(r Reg) uint64 { return c.st.regs[r] }
+
+// Run executes the compiled program for one packet and returns the verdict.
+// It mirrors Interp.Run clause for clause: registers and scratch are
+// re-zeroed, MaxSteps defaults to one million, and the hook-free case takes
+// a specialized loop while any observation (OnInstr/OnBlock/Ctx) engages the
+// hooked loop with identical step accounting.
+func (c *Compiled) Run(env Env, h *Hooks) (uint64, error) {
+	st := &c.st
+	for i := range st.regs {
+		st.regs[i] = 0
+	}
+	for i := range st.scratch {
+		st.scratch[i] = 0
+	}
+	st.env = env
+	maxSteps := 1_000_000
+	if h != nil && h.MaxSteps > 0 {
+		maxSteps = h.MaxSteps
+	}
+	if h == nil || (h.OnInstr == nil && h.OnBlock == nil && h.Ctx == nil) {
+		return c.runFast(maxSteps)
+	}
+	return c.runHooked(h, maxSteps)
+}
+
+// runFast is the hook-free closure-chain loop; semantics and step accounting
+// match Interp.runFast exactly.
+func (c *Compiled) runFast(maxSteps int) (uint64, error) {
+	st := &c.st
+	steps := 0
+	bi := 0
+	for {
+		steps++
+		if steps > maxSteps {
+			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+		}
+		blk := &c.blocks[bi]
+		for ii, fn := range blk.code {
+			steps++
+			if steps > maxSteps {
+				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+			}
+			if err := fn(st); err != nil {
+				return 0, fmt.Errorf("%s: %w", blk.fail[ii], err)
+			}
+		}
+		switch blk.kind {
+		case TermJump:
+			bi = blk.then
+		case TermBranch:
+			if st.regs[blk.cond] != 0 {
+				bi = blk.then
+			} else {
+				bi = blk.els
+			}
+		case TermReturn:
+			if blk.ret == NoReg {
+				return VerdictPass, nil
+			}
+			return st.regs[blk.ret], nil
+		}
+	}
+}
+
+// runHooked is the observed closure-chain loop, running hooks and polling
+// the context exactly as Interp.runHooked does — block entries count one
+// step, each instruction counts one step, the limit is checked before
+// executing, and Ctx is polled every ctxPollMask+1 steps.
+func (c *Compiled) runHooked(h *Hooks, maxSteps int) (uint64, error) {
+	st := &c.st
+	steps := 0
+	bi := 0
+	for {
+		steps++
+		if steps > maxSteps {
+			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+		}
+		if h.Ctx != nil && steps&ctxPollMask == 0 {
+			if err := h.Ctx.Err(); err != nil {
+				return 0, fmt.Errorf("cir: %s interrupted: %w", c.prog.Name, err)
+			}
+		}
+		if h.OnBlock != nil {
+			h.OnBlock(bi)
+		}
+		blk := &c.blocks[bi]
+		for ii, fn := range blk.code {
+			steps++
+			if steps > maxSteps {
+				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+			}
+			if h.Ctx != nil && steps&ctxPollMask == 0 {
+				if err := h.Ctx.Err(); err != nil {
+					return 0, fmt.Errorf("cir: %s interrupted: %w", c.prog.Name, err)
+				}
+			}
+			if h.OnInstr != nil {
+				h.OnInstr(bi, blk.meta[ii])
+			}
+			if err := fn(st); err != nil {
+				return 0, fmt.Errorf("%s: %w", blk.fail[ii], err)
+			}
+		}
+		switch blk.kind {
+		case TermJump:
+			bi = blk.then
+		case TermBranch:
+			if st.regs[blk.cond] != 0 {
+				bi = blk.then
+			} else {
+				bi = blk.els
+			}
+		case TermReturn:
+			if blk.ret == NoReg {
+				return VerdictPass, nil
+			}
+			return st.regs[blk.ret], nil
+		}
+	}
+}

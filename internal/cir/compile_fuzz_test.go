@@ -1,0 +1,219 @@
+package cir
+
+import (
+	"context"
+	"testing"
+)
+
+// fuzzRd consumes fuzz bytes one at a time, yielding zeros once exhausted so
+// every input decodes to some program.
+type fuzzRd struct {
+	d []byte
+	i int
+}
+
+func (r *fuzzRd) b() byte {
+	if r.i >= len(r.d) {
+		return 0
+	}
+	v := r.d[r.i]
+	r.i++
+	return v
+}
+
+var fuzzBinOps = []Op{
+	OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+	OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpFAdd, OpFMul, OpFDiv,
+}
+
+// fuzzCallees mixes stateless vcalls with table ops against the one declared
+// state object, so the generator covers the whole OpVCall shape space.
+var fuzzCallees = []struct {
+	name  string
+	state string
+}{
+	{VCGetHdr, ""}, {VCHdrField, ""}, {VCPayloadLen, ""}, {VCPayloadByte, ""},
+	{VCFlowKey, ""}, {VCHash, ""}, {VCNow, ""}, {VCRandom, ""}, {VCEmit, ""},
+	{VCMapLookup, "m"}, {VCMapIncr, "m"}, {VCMapPut, "m"},
+}
+
+// genFuzzProgram decodes fuzz bytes into a verified program plus an
+// adversarial step budget. Generated programs use every opcode class —
+// constants, the full binary menu (division and modulo by runtime zeros
+// included), unary ops, scratch loads/stores at arbitrary addresses (bounds
+// faults are part of the contract under test), vcalls, mutable-slot writes —
+// across several blocks wired with jumps, branches, and both return forms.
+// Infinite loops are expected; the small step budget turns them into
+// step-limit parity checks.
+func genFuzzProgram(data []byte) (*Program, int) {
+	r := &fuzzRd{d: data}
+	bld := NewBuilder("fuzz")
+	bld.AllocScratch(int(r.b()%5) * 8) // 0..32 bytes; 0 forces bounds faults
+	bld.DeclareState(StateObj{Name: "m", Kind: StateMap, KeySize: 8, ValueSize: 16, Capacity: 64})
+
+	nBlocks := 1 + int(r.b())%4
+	blocks := []int{0}
+	for i := 1; i < nBlocks; i++ {
+		blocks = append(blocks, bld.NewBlock("b"))
+	}
+
+	pool := []Reg{
+		bld.Const(uint64(r.b())),
+		bld.Const(uint64(r.b()) << 3),
+		bld.Const(uint64(r.b()) % 3), // often zero: feeds div/mod faults
+	}
+	pick := func() Reg { return pool[int(r.b())%len(pool)] }
+	sizes := []int{1, 2, 4, 8}
+
+	for i, blk := range blocks {
+		bld.SetBlock(blk)
+		for n := int(r.b()) % 6; n > 0; n-- {
+			switch r.b() % 7 {
+			case 0:
+				pool = append(pool, bld.Const(uint64(r.b())|uint64(r.b())<<8))
+			case 1:
+				op := fuzzBinOps[int(r.b())%len(fuzzBinOps)]
+				pool = append(pool, bld.Bin(op, pick(), pick()))
+			case 2:
+				pool = append(pool, bld.Not(pick()))
+			case 3:
+				// Mutable-slot write: the non-SSA pattern loops rely on.
+				bld.CopyInto(pick(), pick())
+			case 4:
+				pool = append(pool, bld.Load(pick(), sizes[int(r.b())%4]))
+			case 5:
+				bld.Store(pick(), pick(), sizes[int(r.b())%4])
+			case 6:
+				c := fuzzCallees[int(r.b())%len(fuzzCallees)]
+				var args []Reg
+				for k := int(r.b()) % 4; k > 0; k-- {
+					args = append(args, pick())
+				}
+				if r.b()%2 == 0 {
+					pool = append(pool, bld.VCall(c.name, c.state, args...))
+				} else {
+					bld.VCallVoid(c.name, c.state, args...)
+				}
+			}
+		}
+		switch r.b() % 5 {
+		case 0:
+			bld.Jump(blocks[int(r.b())%nBlocks])
+		case 1:
+			bld.Branch(pick(), blocks[int(r.b())%nBlocks], blocks[int(r.b())%nBlocks])
+		case 2:
+			bld.Return(pick())
+		case 3:
+			bld.ReturnConst(uint64(r.b()) % 3)
+		default:
+			bld.Return(NoReg)
+		}
+		_ = i
+	}
+
+	maxSteps := 1 + (int(r.b())<<4|int(r.b()))%4096
+	p, err := bld.Program()
+	if err != nil {
+		return nil, 0 // e.g. every block unreachable after pruning
+	}
+	return p, maxSteps
+}
+
+// fuzzOutcome is everything externally observable about one run: the
+// verdict, the error text, the vcall trace (callee + evaluated args), and —
+// on hooked runs — the per-instruction and per-block step counts.
+type fuzzOutcome struct {
+	v       uint64
+	errText string
+	calls   []string
+	instrs  int
+	blocks  int
+}
+
+// FuzzCompiledVsInterp is the differential battery's randomized arm: any
+// program the builder can express must produce identical (verdict, error
+// string, vcall trace, step count) tuples from the interpreter and the
+// compiled engine, on both the fast and the hooked paths.
+func FuzzCompiledVsInterp(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0})
+	// A longer seed so the generator reaches multi-block shapes with loops.
+	long := make([]byte, 96)
+	for i := range long {
+		long[i] = byte(i*37 + 11)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, maxSteps := genFuzzProgram(data)
+		if prog == nil {
+			return
+		}
+		comp, err := Compile(prog)
+		if err != nil {
+			// Program() verified it; Compile accepts a strict superset of
+			// executable programs, so rejection here is an engine bug.
+			t.Fatalf("verified program failed to compile: %v\n%s", err, prog)
+		}
+		it := NewInterp(prog)
+
+		run := func(engine func(Env, *Hooks) (uint64, error), hooked bool) fuzzOutcome {
+			env := &recordingEnv{}
+			var o fuzzOutcome
+			h := &Hooks{MaxSteps: maxSteps}
+			if hooked {
+				h.OnInstr = func(int, *Instr) { o.instrs++ }
+				h.OnBlock = func(int) { o.blocks++ }
+				h.Ctx = context.Background()
+			}
+			v, err := engine(env, h)
+			o.v = v
+			if err != nil {
+				o.errText = err.Error()
+			}
+			o.calls = env.calls
+			return o
+		}
+		diff := func(arm string, a, b fuzzOutcome) {
+			t.Helper()
+			if a.errText != b.errText {
+				t.Fatalf("%s: error diverged:\n  interp:   %q\n  compiled: %q\n%s", arm, a.errText, b.errText, prog)
+			}
+			if a.errText == "" && a.v != b.v {
+				t.Fatalf("%s: verdict diverged: interp %d, compiled %d\n%s", arm, a.v, b.v, prog)
+			}
+			if len(a.calls) != len(b.calls) {
+				t.Fatalf("%s: vcall count diverged: interp %d, compiled %d\n%s", arm, len(a.calls), len(b.calls), prog)
+			}
+			for i := range a.calls {
+				if a.calls[i] != b.calls[i] {
+					t.Fatalf("%s: vcall %d diverged: interp %s, compiled %s\n%s", arm, i, a.calls[i], b.calls[i], prog)
+				}
+			}
+			if a.instrs != b.instrs || a.blocks != b.blocks {
+				t.Fatalf("%s: step counts diverged: interp %d/%d, compiled %d/%d\n%s",
+					arm, a.instrs, a.blocks, b.instrs, b.blocks, prog)
+			}
+		}
+
+		iFast := run(it.Run, false)
+		cFast := run(comp.Run, false)
+		diff("fast", iFast, cFast)
+
+		iHook := run(it.Run, true)
+		cHook := run(comp.Run, true)
+		diff("hooked", iHook, cHook)
+
+		// Each engine's fast and hooked paths must also agree with each other
+		// (cancellation polling aside, hooks must not perturb execution).
+		if iFast.errText != iHook.errText || (iFast.errText == "" && iFast.v != iHook.v) {
+			t.Fatalf("interp fast/hooked diverged: %q/%d vs %q/%d\n%s",
+				iFast.errText, iFast.v, iHook.errText, iHook.v, prog)
+		}
+		if cFast.errText != cHook.errText || (cFast.errText == "" && cFast.v != cHook.v) {
+			t.Fatalf("compiled fast/hooked diverged: %q/%d vs %q/%d\n%s",
+				cFast.errText, cFast.v, cHook.errText, cHook.v, prog)
+		}
+	})
+}

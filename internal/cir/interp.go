@@ -13,10 +13,12 @@ import (
 type Env interface {
 	// VCall executes the vcall with evaluated arguments, returning the
 	// result value (ignored when the instruction has no destination).
-	// args is a scratch buffer owned by the interpreter and reused across
-	// calls: it is valid only for the duration of the call, and
-	// implementations must copy it if they need the values afterwards.
-	VCall(in Instr, args []uint64) (uint64, error)
+	// in points into the running program (passing it by pointer keeps the
+	// per-vcall cost at one word instead of copying the whole Instr) and
+	// args is a scratch buffer owned by the engine and reused across calls:
+	// both are valid only for the duration of the call, and implementations
+	// must copy what they need to retain.
+	VCall(in *Instr, args []uint64) (uint64, error)
 }
 
 // Hooks observe execution. Either hook may be nil. The simulator uses them
@@ -61,6 +63,15 @@ type Interp struct {
 
 // ErrStepLimit reports a runaway execution.
 var ErrStepLimit = errors.New("cir: step limit exceeded")
+
+// Arithmetic fault sentinels, shared by the interpreter and the compiled
+// engine so a faulting packet produces the *same* error value on either
+// dispatch path — differential tests compare error identity with errors.Is,
+// and the hot path no longer allocates a fresh error per faulting packet.
+var (
+	ErrDivByZero = errors.New("division by zero")
+	ErrModByZero = errors.New("modulo by zero")
+)
 
 // NewInterp prepares an interpreter for p.
 func NewInterp(p *Program) *Interp {
@@ -228,12 +239,12 @@ func (it *Interp) step(in *Instr, env Env) error {
 		set(arg(0) * arg(1))
 	case OpDiv:
 		if arg(1) == 0 {
-			return errors.New("division by zero")
+			return ErrDivByZero
 		}
 		set(arg(0) / arg(1))
 	case OpMod:
 		if arg(1) == 0 {
-			return errors.New("modulo by zero")
+			return ErrModByZero
 		}
 		set(arg(0) % arg(1))
 	case OpAnd:
@@ -267,13 +278,13 @@ func (it *Interp) step(in *Instr, env Env) error {
 	case OpFDiv:
 		set(math.Float64bits(math.Float64frombits(arg(0)) / math.Float64frombits(arg(1))))
 	case OpLoad:
-		v, err := it.loadScratch(arg(0), in.Size)
+		v, err := loadScratch(it.scratch, arg(0), in.Size)
 		if err != nil {
 			return err
 		}
 		set(v)
 	case OpStore:
-		return it.storeScratch(arg(0), arg(1), in.Size)
+		return storeScratch(it.scratch, arg(0), arg(1), in.Size)
 	case OpVCall:
 		// The argument buffer is interpreter-owned scratch: sized once at
 		// NewInterp, resliced per call, never retained by the Env.
@@ -281,7 +292,7 @@ func (it *Interp) step(in *Instr, env Env) error {
 		for i := range in.Args {
 			args[i] = arg(i)
 		}
-		v, err := env.VCall(*in, args)
+		v, err := env.VCall(in, args)
 		if err != nil {
 			return err
 		}
@@ -292,23 +303,28 @@ func (it *Interp) step(in *Instr, env Env) error {
 	return nil
 }
 
-func (it *Interp) loadScratch(addr uint64, size int) (uint64, error) {
-	if addr+uint64(size) > uint64(len(it.scratch)) {
-		return 0, fmt.Errorf("scratch load out of bounds: addr=%d size=%d len=%d", addr, size, len(it.scratch))
+// loadScratch and storeScratch are the little-endian scratch-memory
+// semantics shared by the interpreter and the compiled engine; keeping them
+// in one place keeps the bounds-fault text byte-identical on both paths.
+func loadScratch(scratch []byte, addr uint64, size int) (uint64, error) {
+	// addr is untrusted: addr+size wraps for addresses near 2^64 and would
+	// sail past the sum check alone, so reject addr > len first.
+	if addr > uint64(len(scratch)) || addr+uint64(size) > uint64(len(scratch)) {
+		return 0, fmt.Errorf("scratch load out of bounds: addr=%d size=%d len=%d", addr, size, len(scratch))
 	}
 	var v uint64
 	for i := 0; i < size; i++ {
-		v |= uint64(it.scratch[addr+uint64(i)]) << (8 * i)
+		v |= uint64(scratch[addr+uint64(i)]) << (8 * i)
 	}
 	return v, nil
 }
 
-func (it *Interp) storeScratch(addr, val uint64, size int) error {
-	if addr+uint64(size) > uint64(len(it.scratch)) {
-		return fmt.Errorf("scratch store out of bounds: addr=%d size=%d len=%d", addr, size, len(it.scratch))
+func storeScratch(scratch []byte, addr, val uint64, size int) error {
+	if addr > uint64(len(scratch)) || addr+uint64(size) > uint64(len(scratch)) {
+		return fmt.Errorf("scratch store out of bounds: addr=%d size=%d len=%d", addr, size, len(scratch))
 	}
 	for i := 0; i < size; i++ {
-		it.scratch[addr+uint64(i)] = byte(val >> (8 * i))
+		scratch[addr+uint64(i)] = byte(val >> (8 * i))
 	}
 	return nil
 }

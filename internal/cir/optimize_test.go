@@ -12,7 +12,7 @@ type recordingEnv struct {
 	n     uint64
 }
 
-func (e *recordingEnv) VCall(in Instr, args []uint64) (uint64, error) {
+func (e *recordingEnv) VCall(in *Instr, args []uint64) (uint64, error) {
 	e.calls = append(e.calls, fmt.Sprintf("%s/%v", in.Callee, args))
 	e.n++
 	// A deterministic but varied value stream.

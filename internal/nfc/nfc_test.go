@@ -13,8 +13,8 @@ type stubEnv struct {
 	calls []cir.Instr
 }
 
-func (e *stubEnv) VCall(in cir.Instr, args []uint64) (uint64, error) {
-	e.calls = append(e.calls, in)
+func (e *stubEnv) VCall(in *cir.Instr, args []uint64) (uint64, error) {
+	e.calls = append(e.calls, *in)
 	return e.ret[in.Callee], nil
 }
 

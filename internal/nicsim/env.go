@@ -26,33 +26,36 @@ type exec struct {
 }
 
 // reset re-arms the exec for the next packet, keeping the Sim pointer and
-// recycling the latched-entry map (cleared, not reallocated). The zeroed
-// remainder matches a freshly allocated exec field for field — mapLookup's
-// lazy-init tolerates an empty non-nil map — so packet N+1 starts from
-// exactly the state a fresh exec would give it, without the allocation.
+// recycling the latched-entry map (cleared, not reallocated). Every field is
+// restored to what a freshly allocated exec would hold — mapLookup's
+// lazy-init tolerates an empty non-nil map — EXCEPT pkt, which the caller
+// overwrites in full before any use (decode-cache copy, or an explicit zero
+// + Decode on the corruption path): skipping it here avoids zeroing and
+// write-barriering the largest field twice per packet.
 func (e *exec) reset(wire []byte, pktIndex int) {
-	s, latched := e.s, e.latched
-	for k := range latched {
-		delete(latched, k)
+	for k := range e.latched {
+		delete(e.latched, k)
 	}
-	*e = exec{s: s, wire: wire, pktIndex: pktIndex, latched: latched}
+	e.wire = wire
+	e.pktIndex = pktIndex
+	e.now = 0
+	e.bd = Breakdown{}
+	e.emitted = false
+	e.steps = 0
+	e.parsed = [8]bool{}
+	e.lastLine = 0
 }
 
-// onInstr prices non-vcall instructions using the representative core's
-// per-class cycle table. VCall pricing happens inside VCall itself.
+// onInstr prices non-vcall instructions from the Sim's precomputed per-op
+// cost table (the class lookup, FPU emulation and local-memory rules are
+// folded in at New). VCall pricing happens inside VCall itself, so vcalls
+// only bump the step count here.
 func (e *exec) onInstr(_ int, in *cir.Instr) {
 	e.steps++
-	cl := cir.ClassOf(in.Op)
-	if cl == cir.ClassVCall {
+	if in.Op == cir.OpVCall {
 		return
 	}
-	cost := e.s.npu.ClassCycles[cl]
-	if cl == cir.ClassFloat && !e.s.npu.HasFPU {
-		cost = e.s.npu.ClassCycles[cir.ClassALU] * e.s.npu.FloatEmulation
-	}
-	if cl == cir.ClassMem && e.s.npu.LocalMem >= 0 {
-		cost = e.s.nic.Mems[e.s.npu.LocalMem].LoadCycles
-	}
+	cost := e.s.costByOp[in.Op]
 	e.now += cost
 	e.bd.Compute += cost
 }
@@ -122,7 +125,7 @@ func (e *exec) l4SegmentLen() int {
 }
 
 // VCall implements cir.Env.
-func (e *exec) VCall(in cir.Instr, args []uint64) (uint64, error) {
+func (e *exec) VCall(in *cir.Instr, args []uint64) (uint64, error) {
 	s := e.s
 	switch in.Callee {
 	case cir.VCGetHdr:

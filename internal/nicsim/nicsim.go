@@ -243,6 +243,19 @@ type Sim struct {
 	nic  *lnic.LNIC
 	prog *cir.Program
 
+	// compiled is the closure-chain engine built once at New; interp is the
+	// reference switch-dispatch engine kept alongside it. The packet loop
+	// runs compiled unless forceInterp flips it back — tests use that to
+	// prove the two dispatchers produce DeepEqual results.
+	compiled    *cir.Compiled
+	interp      *cir.Interp
+	forceInterp bool
+	// costByOp precomputes the representative core's per-instruction cycle
+	// price for every opcode (class lookup, FPU emulation and local-memory
+	// override folded in), so the per-instruction hook indexes an array
+	// instead of hashing into ClassCycles a million times per run.
+	costByOp [256]float64
+
 	maps     map[string]*mapState
 	lpms     map[string]*lpmState
 	sketches map[string]*sketchState
@@ -358,6 +371,35 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	s.parserUnits = s.nic.UnitsOfKind(lnic.UnitParser)
 	s.egressUnits = s.nic.UnitsOfKind(lnic.UnitEgress)
 
+	// Both execution engines are built once per Sim: the compiled closure
+	// chains drive the packet loop, the interpreter stays as the reference
+	// dispatch (and the forceInterp escape hatch). Verify passed above, so a
+	// compile failure here is a real inconsistency, not a user error.
+	s.interp = cir.NewInterp(s.prog)
+	compiled, err := cir.Compile(s.prog)
+	if err != nil {
+		return nil, err
+	}
+	s.compiled = compiled
+
+	// Fold the pricing rules of exec.onInstr into one array indexed by
+	// opcode. Opcodes beyond the catalog price as ALU, matching ClassOf's
+	// default; OpVCall stays zero because vcall pricing happens inside VCall.
+	for op := 0; op < len(s.costByOp); op++ {
+		cl := cir.ClassOf(cir.Op(op))
+		if cl == cir.ClassVCall {
+			continue
+		}
+		cost := s.npu.ClassCycles[cl]
+		if cl == cir.ClassFloat && !s.npu.HasFPU {
+			cost = s.npu.ClassCycles[cir.ClassALU] * s.npu.FloatEmulation
+		}
+		if cl == cir.ClassMem && s.npu.LocalMem >= 0 {
+			cost = s.nic.Mems[s.npu.LocalMem].LoadCycles
+		}
+		s.costByOp[op] = cost
+	}
+
 	// Thread pool across all general cores.
 	total := 0
 	for _, id := range gp {
@@ -440,6 +482,13 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	return s, nil
 }
 
+// ForceInterp switches the packet loop between the compiled closure-chain
+// engine (the default) and the reference switch-dispatch interpreter. The
+// two are proven equivalent (TestRunContextMatchesReference, cir's
+// differential battery); the toggle exists so tests and benchmarks can run
+// either dispatcher on an identical Sim.
+func (s *Sim) ForceInterp(v bool) { s.forceInterp = v }
+
 // Run replays the trace through the NF and returns per-packet results,
 // under default resource limits.
 func (s *Sim) Run(tr *workload.Trace) (*Result, error) {
@@ -499,7 +548,6 @@ func (s *Sim) runRange(ctx context.Context, tr *workload.Trace, base, lo, hi int
 		}
 		return res
 	}
-	interp := cir.NewInterp(s.prog)
 	clock := s.nic.ClockGHz
 	// Hot-path scratch: one exec serves every packet (reset between packets),
 	// the Hooks value is built once since its fields are loop-invariant, and
@@ -634,7 +682,13 @@ func (s *Sim) runRange(ctx context.Context, tr *workload.Trace, base, lo, hi int
 		e.bd.Queue += start - t
 		e.now = start
 
-		verdict, err := interp.Run(e, &hooks)
+		var verdict uint64
+		var err error
+		if s.forceInterp {
+			verdict, err = s.interp.Run(e, &hooks)
+		} else {
+			verdict, err = s.compiled.Run(e, &hooks)
+		}
 		runSteps += e.steps
 		if err != nil {
 			s.bookThread(th, e.now)

@@ -155,7 +155,7 @@ func (e *costEnv) stateObj(name string) (cir.StateObj, int, error) {
 
 // VCall charges the expected cost of the call and delegates its value to
 // the symbolic environment.
-func (e *costEnv) VCall(in cir.Instr, args []uint64) (uint64, error) {
+func (e *costEnv) VCall(in *cir.Instr, args []uint64) (uint64, error) {
 	nic := e.nic
 	seen := e.sem.Attrs().FlowSeen
 	pktLine := float64(nic.Mems[nic.PktMem].LineBytes)

@@ -129,6 +129,14 @@ func EnumerateContext(ctx context.Context, prog *cir.Program) ([]Class, error) {
 		sort.Slice(classes, func(i, j int) bool { return classes[i].Name() < classes[j].Name() })
 		return classes
 	}
+	// Compile once and reuse the closure chains across every lattice point —
+	// the enumeration runs the same program dozens of times. A program that
+	// fails to compile (possible for unverified input) falls back to a fresh
+	// interpreter per point, the reference behaviour.
+	comp, compErr := cir.Compile(prog)
+	if compErr != nil {
+		comp = nil
+	}
 	for _, proto := range protos {
 		for _, syn := range bools {
 			if syn && proto != "tcp" {
@@ -152,7 +160,7 @@ func EnumerateContext(ctx context.Context, prog *cir.Program) ([]Class, error) {
 						}
 						a := Attrs{Proto: proto, SYN: syn, FlowSeen: flowSeen,
 							DPIMatch: dpi, Heavy: heavy, PayloadLen: payload}
-						cl, err := runClass(ctx, prog, a, maxSteps, countStep)
+						cl, err := runClass(ctx, prog, comp, a, maxSteps, countStep)
 						if err != nil {
 							if errors.Is(err, cir.ErrStepLimit) {
 								return nil, &budget.ExceededError{
@@ -208,9 +216,10 @@ func traceKey(blocks []int) string {
 	return b.String()
 }
 
-// runClass executes the program once under the attribute valuation. onInstr,
+// runClass executes the program once under the attribute valuation, on the
+// compiled engine when one is available (the interpreter otherwise). onInstr,
 // when non-nil, observes every instruction (step accounting).
-func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int, onInstr func(int, *cir.Instr)) (*Class, error) {
+func runClass(ctx context.Context, prog *cir.Program, comp *cir.Compiled, a Attrs, maxSteps int, onInstr func(int, *cir.Instr)) (*Class, error) {
 	cl := &Class{
 		Attrs:      a,
 		BlockCount: map[int]int{},
@@ -230,7 +239,13 @@ func runClass(ctx context.Context, prog *cir.Program, a Attrs, maxSteps int, onI
 		Ctx:      ctx,
 	}
 	env.onVCall = func(name string) { cl.VCalls[name]++ }
-	v, err := cir.NewInterp(prog).Run(env, hooks)
+	var v uint64
+	var err error
+	if comp != nil {
+		v, err = comp.Run(env, hooks)
+	} else {
+		v, err = cir.NewInterp(prog).Run(env, hooks)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +268,7 @@ func NewEnv(a Attrs) *Env { return &Env{a: a} }
 func (e *Env) Attrs() Attrs { return e.a }
 
 // VCall implements cir.Env.
-func (e *Env) VCall(in cir.Instr, args []uint64) (uint64, error) {
+func (e *Env) VCall(in *cir.Instr, args []uint64) (uint64, error) {
 	if e.onVCall != nil {
 		e.onVCall(in.Callee)
 	}
