@@ -23,10 +23,12 @@ type benchBaseline struct {
 // reruns. Adding a baseline entry without registering its function here is a
 // test failure, not a silent skip.
 var guardedBenchmarks = map[string]func(*testing.B){
-	"BenchmarkPredict":        BenchmarkPredict,
-	"BenchmarkSimRun":         BenchmarkSimRun,
-	"BenchmarkSimRunCompiled": BenchmarkSimRunCompiled,
-	"BenchmarkSimRunSharded":  BenchmarkSimRunSharded,
+	"BenchmarkPredict":          BenchmarkPredict,
+	"BenchmarkPredictColocated": BenchmarkPredictColocated,
+	"BenchmarkSimRun":           BenchmarkSimRun,
+	"BenchmarkSimRunCompiled":   BenchmarkSimRunCompiled,
+	"BenchmarkSimRunColocated":  BenchmarkSimRunColocated,
+	"BenchmarkSimRunSharded":    BenchmarkSimRunSharded,
 }
 
 // TestBenchGuard fails when a guarded hot path regresses against the

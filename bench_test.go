@@ -177,6 +177,83 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictColocated measures a steady-state two-tenant co-location
+// prediction: the contention model is fitted (and memoized) before the
+// timer, so iterations price the per-query path the /v1/colocate endpoint
+// pays on a cache miss — two sliced solo predictions plus two inflated
+// re-predictions. bench_guard pins ns/op and allocs/op
+// (testdata/bench_baseline.json).
+func BenchmarkPredictColocated(b *testing.B) {
+	nfs := make([]*NF, 2)
+	for i, spec := range []nf.Spec{nf.Firewall(65536), nf.NAT(true)} {
+		nfo, err := CompileNF(spec.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for st, n := range spec.PreloadEntries {
+			nfo.Preload[st] = n
+		}
+		nfs[i] = nfo
+	}
+	target, err := NewTarget("netronome")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := ParseWorkload("rate=2000000,flows=1000,tcp=1.0,size=200")
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := []float64{1, 1}
+	wls := []Workload{wl, wl}
+	// Warm the memoized contention model and the per-NF enumerations.
+	if _, err := PredictColocated(nfs, weights, target, wls); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PredictColocated(nfs, weights, target, wls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRunColocated measures the multi-tenant engine end to end: two
+// tenants sharing one Netronome, 4096 packets each, merged-order stepping on
+// GOMAXPROCS window workers, per-tenant merges included. bench_guard pins
+// ns/op and allocs/op (testdata/bench_baseline.json).
+func BenchmarkSimRunColocated(b *testing.B) {
+	cfg := nicsim.ColocConfig{NIC: lnic.Netronome(), Seed: 11}
+	for i, spec := range []nf.Spec{nf.Firewall(65536), nf.NAT(true)} {
+		prog := spec.MustCompile()
+		prof := workload.DefaultProfile()
+		prof.Packets = 4096
+		prof.Flows = 256
+		prof.Seed = int64(100 + i)
+		tr, err := workload.Generate(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Decoded()
+		cfg.Tenants = append(cfg.Tenants, nicsim.Tenant{
+			Prog: prog, Place: nicsim.DefaultPlacement(cfg.NIC, prog),
+			Preload: spec.PreloadEntries, Weight: 1, Trace: tr,
+		})
+	}
+	opts := nicsim.ShardOpts{Workers: -1}
+	if _, err := nicsim.RunColocated(cfg, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nicsim.RunColocated(cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPredictColdNF measures Predict with a fresh NF every iteration:
 // each call pays the full class-enumeration + annotation cost. Contrast
 // with BenchmarkPredict above, whose NF serves every call from the memoized

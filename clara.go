@@ -89,6 +89,9 @@ type (
 	PartialAnalysis = partial.Analysis
 	// PCIe parameterizes the host/NIC interconnect for partial offloading.
 	PCIe = partial.PCIe
+	// ContentionModel holds per-resource slowdown curves for multi-tenant
+	// co-location, fit by FitContention and consumed by PredictColocated.
+	ContentionModel = lnic.ContentionModel
 )
 
 // Budget and its error types bound the analysis pipeline. Attach a Budget to
@@ -546,6 +549,149 @@ func MicrobenchContext(ctx context.Context, t *Target, parallel int) (*BenchRepo
 	defer obs.From(ctx).StageTimer("microbench")()
 	return budget.Guard1("microbench", t.Name, func() (*BenchReport, error) {
 		return microbench.RunContext(ctx, t, parallel)
+	})
+}
+
+// FitContention fits the target's multi-tenant slowdown curves by running
+// microbenchmark probes under synthetic contender load on the co-located
+// simulator. The fit is deterministic per target.
+func FitContention(t *Target) (*ContentionModel, error) {
+	return FitContentionContext(context.Background(), t)
+}
+
+// FitContentionContext is FitContention bounded by ctx and its budget.
+func FitContentionContext(ctx context.Context, t *Target) (*ContentionModel, error) {
+	defer obs.From(ctx).StageTimer("microbench")()
+	return budget.Guard1("microbench", t.Name, func() (*ContentionModel, error) {
+		return microbench.FitContentionContext(ctx, t)
+	})
+}
+
+// contModels memoizes one fitted contention model per target name: the fit
+// runs a dozen short simulations, built-in profiles are immutable, and the
+// result is deterministic, so every PredictColocated call on the same target
+// can share it.
+var (
+	contModelMu sync.Mutex
+	contModels  = map[string]*ContentionModel{}
+)
+
+func contentionModelFor(ctx context.Context, t *Target) (*ContentionModel, error) {
+	contModelMu.Lock()
+	if m, ok := contModels[t.Name]; ok {
+		contModelMu.Unlock()
+		return m, nil
+	}
+	contModelMu.Unlock()
+	m, err := FitContentionContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	contModelMu.Lock()
+	contModels[t.Name] = m
+	contModelMu.Unlock()
+	return m, nil
+}
+
+// PredictColocated predicts each NF's performance profile when the NFs are
+// co-located on one target with weighted resource shares — cores partitioned
+// by weight, accelerators/hubs/memories shared with contention-aware service
+// inflation (the fitted ContentionModel). nfs, weights and wls run in
+// parallel: weights[i] ≤ 0 deactivates nfs[i] (its slot returns nil), and
+// wls[i] is that tenant's own traffic. With a single active tenant the
+// result is byte-identical to that NF's solo Predict on the full target.
+func PredictColocated(nfs []*NF, weights []float64, t *Target, wls []Workload) ([]*Prediction, error) {
+	return PredictColocatedContext(context.Background(), nfs, weights, t, wls)
+}
+
+// PredictColocatedContext is PredictColocated bounded by ctx and its budget;
+// the contention-model fit (once per target, memoized) and every per-tenant
+// pipeline stage honor cancellation with typed errors.
+func PredictColocatedContext(ctx context.Context, nfs []*NF, weights []float64, t *Target, wls []Workload) ([]*Prediction, error) {
+	if len(nfs) != len(weights) || len(nfs) != len(wls) {
+		return nil, fmt.Errorf("clara: co-location wants parallel slices, got %d NFs, %d weights, %d workloads",
+			len(nfs), len(weights), len(wls))
+	}
+	tenants := make([]predict.ColocTenant, len(nfs))
+	names := make([]string, 0, len(nfs))
+	activeCount := 0
+	for i, nf := range nfs {
+		tenants[i] = predict.ColocTenant{Weight: weights[i], Workload: wls[i]}
+		if weights[i] <= 0 {
+			continue
+		}
+		if nf == nil {
+			return nil, fmt.Errorf("clara: co-located tenant %d is nil", i)
+		}
+		classes, err := nf.enumerate(ctx)
+		if err != nil {
+			return nil, err
+		}
+		tenants[i].Prog = nf.Program
+		tenants[i].Classes = classes
+		names = append(names, nf.Name())
+		activeCount++
+	}
+	// The fitted model only matters once resources are actually shared;
+	// the single-tenant path degenerates to the solo pipeline without it.
+	var model *ContentionModel
+	if activeCount > 1 {
+		var err error
+		if model, err = contentionModelFor(ctx, t); err != nil {
+			return nil, err
+		}
+	}
+	if err := budget.Canceled(ctx, "predict", strings.Join(names, "+")); err != nil {
+		return nil, err
+	}
+	defer obs.From(ctx).StageTimer("colocate")()
+	return budget.Guard1("predict", strings.Join(names, "+"), func() ([]*Prediction, error) {
+		return predict.PredictColocated(tenants, t, model, PredictOptions{})
+	})
+}
+
+// MeasureColocated runs the NFs concurrently on the multi-tenant simulator —
+// the ground-truth side of co-location analysis. Each active NF is mapped
+// onto the full target (the simulator partitions threads by weight at run
+// time) and replays its own trace; results align with the input slices, with
+// empty Measurements for deactivated tenants.
+func MeasureColocated(nfs []*NF, weights []float64, t *Target, traces []*Trace, seed int64) ([]*Measurement, error) {
+	return MeasureColocatedContext(context.Background(), nfs, weights, t, traces, seed, MeasureOptions{})
+}
+
+// MeasureColocatedContext is MeasureColocated bounded by ctx and its budget,
+// with per-run options (fault injection, timelines, shard worker count — the
+// co-located engine is worker-count invariant like the sharded solo engine).
+func MeasureColocatedContext(ctx context.Context, nfs []*NF, weights []float64, t *Target, traces []*Trace, seed int64, opts MeasureOptions) ([]*Measurement, error) {
+	if len(nfs) != len(weights) || len(nfs) != len(traces) {
+		return nil, fmt.Errorf("clara: co-location wants parallel slices, got %d NFs, %d weights, %d traces",
+			len(nfs), len(weights), len(traces))
+	}
+	cfg := nicsim.ColocConfig{NIC: t, Seed: seed, Faults: opts.Faults, Timeline: opts.Timeline}
+	names := make([]string, 0, len(nfs))
+	for i, nf := range nfs {
+		ten := nicsim.Tenant{Weight: weights[i]}
+		if weights[i] > 0 {
+			if nf == nil || traces[i] == nil {
+				return nil, fmt.Errorf("clara: co-located tenant %d lacks an NF or trace", i)
+			}
+			m, err := nf.MapContext(ctx, t, mapper.FromStats(traces[i].Stats()), Hints{})
+			if err != nil {
+				return nil, err
+			}
+			ten.Prog = nf.Program
+			ten.Place = PlacementOf(m)
+			ten.Preload = nf.Preload
+			ten.Trace = traces[i]
+			names = append(names, nf.Name())
+		}
+		cfg.Tenants = append(cfg.Tenants, ten)
+	}
+	defer obs.From(ctx).StageTimer("simulate")()
+	return budget.Guard1("simulate", strings.Join(names, "+"), func() ([]*Measurement, error) {
+		return nicsim.RunColocatedContext(ctx, cfg, nicsim.ShardOpts{
+			Workers: opts.Shards, Window: opts.ShardWindow,
+		})
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"clara"
@@ -53,8 +54,10 @@ func run() (err error) {
 		noCrypto    = flag.Bool("no-crypto-accel", false, "hint: crypto in software")
 		swParse     = flag.Bool("sw-parse", false, "hint: parse headers on the cores")
 		pins        pinFlags
+		colocs      colocFlags
 	)
 	flag.Var(&pins, "pin", "hint: pin a state to a region, e.g. -pin conns=emem (repeatable)")
+	flag.Var(&colocs, "colocate", "co-locate with another NF, e.g. -colocate dpi.nf:2 (repeatable; weight defaults to 1)")
 	flag.Parse()
 
 	if *nfPath == "" {
@@ -141,6 +144,38 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+
+	if len(colocs.list) > 0 {
+		// Co-location mode: the -nf program is tenant 0 at weight 1; each
+		// -colocate adds a neighbour. All tenants share the -workload spec.
+		nfs := []*clara.NF{nf}
+		weights := []float64{1}
+		for _, c := range colocs.list {
+			other, err := clara.LoadNF(c.path)
+			if err != nil {
+				return err
+			}
+			nfs = append(nfs, other)
+			weights = append(weights, c.weight)
+		}
+		wls := make([]clara.Workload, len(nfs))
+		for i := range wls {
+			wls[i] = wl
+		}
+		preds, err := clara.PredictColocatedContext(ctx, nfs, weights, t, wls)
+		if err != nil {
+			return err
+		}
+		for i, p := range preds {
+			fmt.Printf("=== tenant %d: %s (weight %g) ===\n", i, nfs[i].Name(), weights[i])
+			if p == nil {
+				fmt.Println("deactivated (weight <= 0)")
+				continue
+			}
+			fmt.Print(p.String())
+		}
+		return nil
+	}
 	hints := clara.Hints{
 		DisableFlowCache:     *noFlowCache,
 		DisableChecksumAccel: *noCksum,
@@ -160,6 +195,38 @@ func run() (err error) {
 		return err
 	}
 	fmt.Print(pred.String())
+	return nil
+}
+
+// colocFlags collects repeated -colocate path[:weight] values.
+type colocFlags struct {
+	list []struct {
+		path   string
+		weight float64
+	}
+}
+
+func (c *colocFlags) String() string {
+	var parts []string
+	for _, e := range c.list {
+		parts = append(parts, fmt.Sprintf("%s:%g", e.path, e.weight))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *colocFlags) Set(v string) error {
+	path, weight := v, 1.0
+	if i := strings.LastIndex(v, ":"); i > 0 {
+		w, err := strconv.ParseFloat(v[i+1:], 64)
+		if err != nil {
+			return fmt.Errorf("want path[:weight], got %q: %v", v, err)
+		}
+		path, weight = v[:i], w
+	}
+	c.list = append(c.list, struct {
+		path   string
+		weight float64
+	}{path, weight})
 	return nil
 }
 

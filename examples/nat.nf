@@ -1,0 +1,31 @@
+// A source NAT in the Clara NF dialect: each 5-tuple is mapped to a
+// translated source address/port, headers are rewritten on every packet and
+// the L4 checksum is recomputed (the variant that benefits from the
+// checksum accelerator). Try it co-located with the firewall:
+//
+//   go run ./cmd/clara -nf examples/firewall.nf -target netronome \
+//       -workload "flows=10000,rate=8000000,size=300" -colocate examples/nat.nf:2
+nf nat {
+	state flows : map<13, 8>[65536];
+	const SNAT_IP = 0x0a0a0a0a;
+
+	handler(pkt) {
+		if (!parse(ipv4)) { return pass; }
+		if (!parse(tcp) && !parse(udp)) { return pass; }
+		var k = flow_key();
+		var nport = 0;
+		if (map_lookup(flows, k)) {
+			nport = map_get(flows, 1);
+		} else {
+			nport = 40000 + (hash(k) & 0x3FFF);
+			map_put(flows, k, SNAT_IP, nport);
+		}
+		var src = field(ipv4, src_addr);
+		var sport = field(tcp, src_port);
+		set_field(ipv4, src_addr, SNAT_IP);
+		set_field(tcp, src_port, nport);
+		checksum(tcp);
+		emit(0);
+		return pass;
+	}
+}

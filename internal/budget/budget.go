@@ -136,6 +136,11 @@ func From(ctx context.Context) Limits {
 // consumption next to the limits, which is what the CLIs export as
 // clara_budget_* gauges. All methods are nil-safe, so instrumented stages
 // call through unconditionally; a bare context costs one nil check.
+//
+// Usage is safe for concurrent use: every counter is an atomic, so N
+// simulator shards — or N co-located tenant Sims stepping on parallel
+// window workers — may share one context's accumulator with no external
+// locking. TestUsageSharedAcrossColocatedSims pins this under -race.
 type Usage struct {
 	symExecSteps atomic.Int64
 	symExecPaths atomic.Int64

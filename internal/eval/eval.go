@@ -16,6 +16,7 @@ import (
 	"clara/internal/cir"
 	"clara/internal/lnic"
 	"clara/internal/mapper"
+	"clara/internal/microbench"
 	"clara/internal/nf"
 	"clara/internal/nicsim"
 	"clara/internal/obs"
@@ -527,6 +528,135 @@ func Interference(cfg Config) ([]InterferenceRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E10 — multi-tenant co-location: contention-aware vs naive prediction.
+
+// ColocateRow compares one co-located tenant's predicted mean latency under
+// the contention-aware model (weighted slices plus fitted slowdown curves)
+// and the naive sum-of-solo model (each tenant predicted alone on the full
+// NIC) against the multi-tenant simulator's ground truth.
+type ColocateRow struct {
+	NF       string
+	Actual   float64 // simulated co-located mean cycles
+	Aware    float64 // PredictColocated mean cycles
+	Naive    float64 // PredictColocatedNaive mean cycles
+	AwareErr float64
+	NaiveErr float64
+}
+
+// Colocate co-locates the firewall and NAT with equal weights on one
+// Netronome and compares contention-aware against naive prediction. Both
+// tenants front their flow state with the shared flow cache, and the offered
+// rate is high enough that its single engine saturates under the combined
+// load — which is exactly what the naive model cannot see.
+func Colocate(cfg Config) ([]ColocateRow, error) {
+	ctx := cfg.ctx()
+	nic := lnic.Netronome()
+	specs := []nf.Spec{nf.Firewall(65536), nf.NAT(true)}
+	prof := cfg.baseProfile()
+	prof.RatePPS = 8_000_000
+	prof.TCPFraction = 1
+	wl := mapper.FromProfile(prof)
+
+	ccfg := nicsim.ColocConfig{NIC: nic, Seed: cfg.seed()}
+	tenants := make([]predict.ColocTenant, len(specs))
+	for i, s := range specs {
+		prog, err := s.Compile()
+		if err != nil {
+			return nil, err
+		}
+		g, err := cir.BuildGraph(prog)
+		if err != nil {
+			return nil, err
+		}
+		classes, err := symexec.EnumerateContext(ctx, prog)
+		if err != nil {
+			return nil, err
+		}
+		symexec.AnnotateGraph(g, classes, symexec.WeightsFor(wl))
+		m, err := mapper.Map(g, nic, wl, mapper.Hints{})
+		if err != nil {
+			return nil, err
+		}
+		p := prof
+		p.Seed = cfg.seed() + int64(i) // decorrelate tenant traffic
+		tr, err := workload.GenerateContext(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Tenants = append(ccfg.Tenants, nicsim.Tenant{
+			Prog: prog,
+			Place: nicsim.Placement{
+				StateMem: m.StateMem, UseFlowCache: m.UseFlowCache,
+				ChecksumOnAccel: m.ChecksumOnAccel, CryptoOnAccel: m.CryptoOnAccel,
+				ParseOnEngine: m.ParseOnEngine,
+			},
+			Preload: s.PreloadEntries, Weight: 1, Trace: tr,
+		})
+		tenants[i] = predict.ColocTenant{Prog: prog, Classes: classes, Weight: 1, Workload: wl}
+	}
+	res, err := nicsim.RunColocatedContext(ctx, ccfg, nicsim.ShardOpts{})
+	if err != nil {
+		return nil, err
+	}
+	model, err := microbench.FitContentionContext(ctx, nic)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := predict.PredictColocated(tenants, nic, model, predict.Options{})
+	if err != nil {
+		return nil, err
+	}
+	naive, err := predict.PredictColocatedNaive(tenants, nic, predict.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ColocateRow, len(specs))
+	for i := range specs {
+		if res[i].Errors > 0 {
+			return nil, fmt.Errorf("eval: %d co-located simulation errors for %s", res[i].Errors, ccfg.Tenants[i].Prog.Name)
+		}
+		actual := res[i].MeanLatency()
+		rows[i] = ColocateRow{
+			NF:       ccfg.Tenants[i].Prog.Name,
+			Actual:   actual,
+			Aware:    aware[i].MeanCycles,
+			Naive:    naive[i].MeanCycles,
+			AwareErr: relativeErr(aware[i].MeanCycles, actual),
+			NaiveErr: relativeErr(naive[i].MeanCycles, actual),
+		}
+	}
+	return rows, nil
+}
+
+func relativeErr(pred, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(pred-actual) / actual
+}
+
+// FormatColocate renders the co-location comparison with the MAE summary
+// line the acceptance gate reads.
+func FormatColocate(rows []ColocateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-tenant co-location: contention-aware vs naive prediction (simulator ground truth):\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s %12s %10s %10s\n", "NF", "actual cyc", "aware cyc", "naive cyc", "aware err", "naive err")
+	var sumAware, sumNaive float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %12.0f %12.0f %12.0f %9.1f%% %9.1f%%\n",
+			r.NF, r.Actual, r.Aware, r.Naive, r.AwareErr*100, r.NaiveErr*100)
+		sumAware += r.AwareErr
+		sumNaive += r.NaiveErr
+	}
+	if n := float64(len(rows)); n > 0 && sumNaive > 0 {
+		maeA, maeN := sumAware/n, sumNaive/n
+		fmt.Fprintf(&b, "  MAE: contention-aware %.1f%% vs naive %.1f%% (%.0f%% reduction)\n",
+			maeA*100, maeN*100, (1-maeA/maeN)*100)
+	}
+	return b.String()
 }
 
 // ---------------------------------------------------------------------------

@@ -216,6 +216,33 @@ func TestInterference(t *testing.T) {
 	}
 }
 
+func TestColocateExperiment(t *testing.T) {
+	rows, err := Colocate(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	var sumAware, sumNaive float64
+	for _, r := range rows {
+		if r.Actual <= 0 || r.Aware <= 0 || r.Naive <= 0 {
+			t.Fatalf("%s: non-positive latency in %+v", r.NF, r)
+		}
+		if r.Aware <= r.Naive {
+			t.Errorf("%s: contention-aware %.0f not above naive %.0f — inflation did nothing", r.NF, r.Aware, r.Naive)
+		}
+		sumAware += r.AwareErr
+		sumNaive += r.NaiveErr
+	}
+	// The acceptance gate: modelling contention must reduce aggregate error
+	// against the multi-tenant simulator.
+	if sumAware >= sumNaive {
+		t.Errorf("contention-aware MAE %.1f%% not below naive %.1f%%",
+			sumAware/2*100, sumNaive/2*100)
+	}
+}
+
 func TestILPvsGreedy(t *testing.T) {
 	rows, err := ILPvsGreedy(testCfg)
 	if err != nil {

@@ -12,7 +12,7 @@ import (
 func Experiments() []string {
 	return []string{
 		"fig1", "fig3a", "fig3b", "fig3c", "accuracy",
-		"cksum", "classes", "interference", "ablation", "partial",
+		"cksum", "classes", "interference", "colocate", "ablation", "partial",
 	}
 }
 
@@ -52,6 +52,7 @@ func renderers() map[string]func(Config) (string, error) {
 		"cksum":        renderCksum,
 		"classes":      renderClasses,
 		"interference": renderInterference,
+		"colocate":     renderColocate,
 		"ablation":     renderAblation,
 		"partial":      renderPartial,
 	}
@@ -139,6 +140,14 @@ func renderInterference(cfg Config) (string, error) {
 		fmt.Fprintf(&b, "  %-10s %14.0f %14.0f %14.0f %14.0f\n", r.NF, r.SoloCycles, r.SharedCycles, r.SoloThroughput, r.SharedPPS)
 	}
 	return b.String(), nil
+}
+
+func renderColocate(cfg Config) (string, error) {
+	rows, err := Colocate(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatColocate(rows), nil
 }
 
 func renderAblation(cfg Config) (string, error) {

@@ -2,6 +2,7 @@ package lnic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"clara/internal/cir"
@@ -227,10 +228,13 @@ func (l *LNIC) Slice(frac float64) *LNIC {
 	}
 	s := *l
 	s.Name = fmt.Sprintf("%s[%.0f%%]", l.Name, frac*100)
-	// Keep ceil(frac × NPUs) general cores; everything else is shared.
+	// Keep ceil(frac × NPUs) general cores; everything else is shared. A
+	// true ceil, not the old "+0.999" pseudo-ceil, which under-counted for
+	// fractions like 1/1000 of large pools (and over-counted exact
+	// products whose float representation lands just below the integer).
 	var keepNPU int
 	total := len(l.UnitsOfKind(UnitNPU))
-	keepNPU = int(float64(total)*frac + 0.999)
+	keepNPU = int(math.Ceil(float64(total) * frac))
 	if keepNPU < 1 {
 		keepNPU = 1
 	}

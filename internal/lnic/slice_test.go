@@ -1,0 +1,80 @@
+package lnic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSliceTopologyValid is the property test for Slice's NPU drop+reindex:
+// for every built-in profile and a grid of fractions, the sliced LNIC must
+// pass Validate and contain no dangling unit or memory IDs — every edge in
+// Pipes/CompMem, every LocalMem reference and the packet-memory pointers
+// must land inside the sliced graph. Co-location leans on Slice-style
+// partitioning, so a stale index here would be load-bearing.
+func TestSliceTopologyValid(t *testing.T) {
+	fracs := []float64{0.001, 0.01, 0.1, 0.125, 0.2, 0.25, 1.0 / 3, 0.4,
+		0.5, 0.625, 2.0 / 3, 0.75, 0.875, 0.999, 1.0}
+	for name, build := range Profiles() {
+		nic := build()
+		for _, frac := range fracs {
+			s := nic.Slice(frac)
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s Slice(%v): Validate: %v", name, frac, err)
+				continue
+			}
+			// Validate already range-checks edges against the reindexed
+			// slices; assert the reindex itself is dense and self-consistent.
+			for i, u := range s.Units {
+				if u.ID != i {
+					t.Errorf("%s Slice(%v): unit %d carries stale ID %d", name, frac, i, u.ID)
+				}
+				if u.LocalMem >= len(s.Mems) {
+					t.Errorf("%s Slice(%v): unit %s local mem %d dangles", name, frac, u.Name, u.LocalMem)
+				}
+			}
+			for _, e := range s.Pipes {
+				if e.From < 0 || e.From >= len(s.Units) || e.To < 0 || e.To >= len(s.Units) {
+					t.Errorf("%s Slice(%v): dangling pipe edge (%d,%d) with %d units",
+						name, frac, e.From, e.To, len(s.Units))
+				}
+			}
+			for _, e := range s.CompMem {
+				if e.Unit < 0 || e.Unit >= len(s.Units) || e.Mem < 0 || e.Mem >= len(s.Mems) {
+					t.Errorf("%s Slice(%v): dangling comp-mem edge (%d,%d)", name, frac, e.Unit, e.Mem)
+				}
+			}
+			for i, h := range s.Hubs {
+				if h.ID != i {
+					t.Errorf("%s Slice(%v): hub %d carries stale ID %d", name, frac, i, h.ID)
+				}
+				if h.QueueCap < 1 {
+					t.Errorf("%s Slice(%v): hub %s queue capacity %d", name, frac, h.Name, h.QueueCap)
+				}
+			}
+			// The general-core count must be a true ceil (the old +0.999
+			// pseudo-ceil under-counted tiny fractions of large pools).
+			total := len(nic.UnitsOfKind(UnitNPU))
+			want := int(math.Ceil(float64(total) * frac))
+			if want < 1 {
+				want = 1
+			}
+			if total == 0 {
+				want = 0
+			}
+			if got := len(s.UnitsOfKind(UnitNPU)); total > 0 && got != want {
+				t.Errorf("%s Slice(%v): kept %d NPUs, want %d of %d", name, frac, got, want, total)
+			}
+		}
+	}
+}
+
+// TestSliceFullFractionKeepsShape pins that Slice(1) keeps every unit and
+// edge (only the name changes), so callers can slice unconditionally.
+func TestSliceFullFractionKeepsShape(t *testing.T) {
+	nic := Netronome()
+	s := nic.Slice(1)
+	if len(s.Units) != len(nic.Units) || len(s.Pipes) != len(nic.Pipes) || len(s.CompMem) != len(nic.CompMem) {
+		t.Fatalf("Slice(1) changed topology: %d/%d units, %d/%d pipes, %d/%d comp-mem edges",
+			len(s.Units), len(nic.Units), len(s.Pipes), len(nic.Pipes), len(s.CompMem), len(nic.CompMem))
+	}
+}

@@ -85,6 +85,12 @@ type Config struct {
 	// and queue depths into Result.Timeline. Off by default; the disabled
 	// path costs one nil check per hop.
 	Timeline bool
+
+	// addrBase offsets every simulated state address. The co-location engine
+	// gives each tenant a disjoint address window so co-resident NFs don't
+	// alias onto the same cache lines while set-conflict behaviour within a
+	// tenant is preserved. Zero (solo runs) changes nothing.
+	addrBase uint64
 }
 
 // Breakdown splits a packet's cycles by where they were spent.
@@ -126,6 +132,11 @@ type Result struct {
 	Faults FaultReport
 	// Timeline is the per-packet hop trace (nil unless Config.Timeline).
 	Timeline *Timeline
+	// Contention accounts cycles this NF's packets spent stalled behind a
+	// co-located tenant on shared resources. Nil for solo runs (and for
+	// co-located runs with fewer than two active tenants), so solo Results
+	// are byte-identical to pre-co-location ones.
+	Contention *ContentionReport
 
 	// latOnce/lat cache the sorted finite latency slice behind Percentile
 	// and MeanLatency, so repeated quantile queries (a serving workload)
@@ -296,6 +307,29 @@ type Sim struct {
 	tl        *Timeline // hop tracer; nil when Config.Timeline is false
 	curPkt    int       // packet index the tracer attributes hops to
 	memCycles []float64 // per-region cycle totals of the in-flight packet (tracer only)
+
+	// Co-location: tenant is this Sim's index among the co-resident NFs and
+	// coloc the shared arbitration state (nil for solo runs — the hot path
+	// pays one nil check, like the tracer's). The cont* accumulators record
+	// cross-tenant waits this tenant's packets incurred on shared servers.
+	tenant     int
+	coloc      *colocShared
+	contStall  float64
+	contWaits  map[string]uint64
+	contCycles map[string]float64
+}
+
+// ContentionReport accounts a co-located NF's stalls behind other tenants.
+// All fields are raw sums (never rates), so shard merging adds them.
+type ContentionReport struct {
+	// StallCycles is the total cycles spent waiting on a shared server whose
+	// previous occupant was another tenant.
+	StallCycles float64
+	// Waits counts those cross-tenant waits per resource name
+	// ("hub:<name>", "accel:<class>", "engine:<name>"); WaitCycles holds the
+	// corresponding cycle sums. Both may be nil when nothing contended.
+	Waits      map[string]uint64
+	WaitCycles map[string]float64
 }
 
 // New validates the configuration and builds a simulator with preloaded
@@ -433,7 +467,7 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	nextAddr := func(region int, bytes int) uint64 {
 		base := alloc[region]
 		alloc[region] = base + uint64(bytes+63)&^63
-		return base
+		return cfg.addrBase + base
 	}
 	for _, obj := range s.prog.State {
 		if int64(obj.Capacity) > lim.FlowEntryLimit() {
@@ -511,248 +545,307 @@ func (s *Sim) RunContext(ctx context.Context, tr *workload.Trace) (*Result, erro
 // all see. RunContext is runRange over the whole trace with base 0; the
 // sharded engine runs one window per call, either as a sub-range of a shared
 // in-memory trace (base 0) or as a streamed window trace whose own indices
-// start at 0 (base = the window's global start).
+// start at 0 (base = the window's global start). The co-location engine
+// drives the same runState a packet at a time, interleaving the steps of
+// several tenants' Sims in merged arrival order.
 func (s *Sim) runRange(ctx context.Context, tr *workload.Trace, base, lo, hi int) (*Result, error) {
-	lim := budget.From(ctx)
-	simSteps := int(lim.SimStepLimit())
-	s.runDPI = lim.DPIBytes
-	res := &Result{
-		NFName:       s.prog.Name,
-		Packets:      make([]PacketResult, 0, hi-lo),
-		CacheHitRate: map[string]float64{},
-	}
-	metrics := obs.From(ctx)
-	usage := budget.UsageFrom(ctx)
-	runSteps := int64(0)
-	// finish seals aggregate rates and the fault report; partial-result
-	// errors carry the same sealed Result a full run would return.
-	finish := func() *Result {
-		for id, c := range s.caches {
-			res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
-		}
-		if s.fc != nil {
-			res.FlowCacheHitRate = s.fc.HitRate()
-		} else {
-			res.FlowCacheHitRate = math.NaN()
-		}
-		res.Faults = s.report
-		res.Timeline = s.tl
-		usage.AddSimEvents(int64(len(res.Packets)))
-		usage.AddSimSteps(runSteps)
-		if metrics != nil {
-			metrics.Counter("clara_sim_packets_total").Add(int64(len(res.Packets)))
-			metrics.Counter("clara_sim_steps_total").Add(runSteps)
-			metrics.Counter("clara_sim_errors_total").Add(int64(res.Errors))
-			metrics.Counter("clara_sim_dropped_total").Add(int64(s.report.Dropped))
-			metrics.Counter("clara_sim_corrupted_total").Add(int64(s.report.Corrupted))
-		}
-		return res
-	}
-	clock := s.nic.ClockGHz
-	// Hot-path scratch: one exec serves every packet (reset between packets),
-	// the Hooks value is built once since its fields are loop-invariant, and
-	// decoded packets come from the trace's shared cache. Corruption copies
-	// recycle through corruptPool; the slot is released at the top of the next
-	// iteration and in finish(), covering every continue/error/return path.
-	decoded, decodeErr := tr.Decoded()
-	e := &exec{s: s}
-	hooks := cir.Hooks{OnInstr: e.onInstr, MaxSteps: simSteps, Ctx: ctx}
-	var corruptBuf *[]byte
-	releaseCorrupt := func() {
-		if corruptBuf != nil {
-			corruptPool.Put(corruptBuf)
-			corruptBuf = nil
-		}
-	}
-	finishRun := finish
-	finish = func() *Result {
-		releaseCorrupt()
-		return finishRun()
-	}
+	var rs runState
+	s.initRunState(&rs, ctx, tr, hi-lo)
 	for i := lo; i < hi; i++ {
-		g := base + i // global trace index
-		releaseCorrupt()
-		if err := ctx.Err(); err != nil {
-			return nil, &budget.CanceledError{
-				Stage: "simulate", NF: s.prog.Name, Err: err, Partial: finish(),
-			}
+		if err := rs.step(i, base+i); err != nil {
+			return nil, err
 		}
-		if lim.SimEvents > 0 && int64(g) >= lim.SimEvents {
-			return nil, &budget.ExceededError{
-				Resource: "sim-events", Limit: lim.SimEvents,
-				Stage: "simulate", NF: s.prog.Name, Partial: finish(),
-			}
-		}
-		tp := &tr.Packets[i]
-		arrival := tp.ArrivalNs * clock
-		s.pktFaulted = false
-		s.curPkt = g
-		if s.memCycles != nil {
-			for r := range s.memCycles {
-				s.memCycles[r] = 0
-			}
-		}
+	}
+	return rs.finish(), nil
+}
 
-		data := tp.Data
-		corrupted := false
-		if f := s.faults; f != nil && f.Corrupt > 0 && len(data) > 0 && s.frandFloat() < f.Corrupt {
-			// Corrupt a pooled copy: trace packet data — and the decode cache
-			// aliasing it — is shared across runs and must stay intact.
-			corruptBuf = corruptPool.Get().(*[]byte)
-			dup := *corruptBuf
-			if cap(dup) < len(data) {
-				dup = make([]byte, len(data))
-			}
-			dup = dup[:len(data)]
-			*corruptBuf = dup
-			copy(dup, data)
-			dup[int(s.frand()%uint64(len(dup)))] ^= byte(s.frand()%255 + 1)
-			data = dup
-			corrupted = true
-			s.report.Corrupted++
-			s.pktFaulted = true
-		}
+// runState is the per-run scratch behind the simulation loop: one exec
+// serves every packet (reset between packets), the Hooks value is built once
+// since its fields are loop-invariant, and decoded packets come from the
+// trace's shared cache. Corruption copies recycle through corruptPool; the
+// slot is released at the top of the next step and in finish, covering every
+// early-return path.
+type runState struct {
+	s   *Sim
+	ctx context.Context
+	tr  *workload.Trace
+	res *Result
 
-		e.reset(data, g)
-		decodeFailed := false
-		if corrupted {
-			// The wire bytes differ from the trace's, so the cached decode
-			// does not apply: decode the corrupted copy fresh.
-			decodeFailed = e.pkt.Decode(data) != nil
-		} else {
-			e.pkt = decoded[i]
-			decodeFailed = decodeErr[i]
-		}
-		if decodeFailed {
-			// Malformed frames traverse the NIC switch only.
-			t, dropped := s.hubVisit(0, arrival, &e.bd)
-			if dropped {
-				s.report.Dropped++
-				continue
-			}
-			if s.pktFaulted {
-				s.report.FaultedPackets++
-			}
-			res.Packets = append(res.Packets, PacketResult{
-				ArrivalCycles: arrival, DoneCycles: t, Latency: t - arrival,
-				Verdict: cir.VerdictPass, Class: "other", Breakdown: e.bd,
-			})
-			continue
-		}
+	lim      budget.Limits
+	simSteps int
+	runSteps int64
+	metrics  *obs.Metrics
+	usage    *budget.Usage
+	clock    float64
 
-		t := arrival
-		// Ingress: traffic-manager hub, DMA into packet memory, optional
-		// parse engine.
-		if len(s.nic.Hubs) > 0 {
-			var dropped bool
-			t, dropped = s.hubVisit(0, t, &e.bd)
-			if dropped {
-				s.report.Dropped++
-				continue
-			}
-		}
-		dma := float64(len(data)/64+1) * 1.0
-		s.tl.add(Hop{Packet: g, Stage: "dma", Unit: -1, Start: t, Dur: dma})
-		t += dma
-		e.bd.Fixed += dma
-		if s.cfg.Place.ParseOnEngine && len(s.parserUnits) > 0 {
-			t = s.engineVisit(s.parserUnits[0], t, &e.bd)
-		}
+	decoded    []packet.Packet
+	decodeErr  []bool
+	e          *exec
+	hooks      cir.Hooks
+	corruptBuf *[]byte
+}
 
-		// Dispatch to the earliest-free NPU thread (a packet binds to one
-		// thread, §3.2). The heap's root is the running minimum of
-		// threadFree, with ties broken toward the lowest index exactly as
-		// the linear scan it replaced resolved them.
-		th := s.threads.min()
-		start := math.Max(t, s.threadFree[th])
-		// Under a fault-injected queue cap, the dispatch queue in front of
-		// the NPU complex is finite: a wait exceeding QueueCap mean service
-		// times (≈ QueueCap packets queued, by Little's law) sheds the
-		// packet. The mean needs a few completed packets to stabilize.
-		if f := s.faults; f != nil && f.QueueCap > 0 && s.svcCount >= 8 {
-			if avg := s.svcSum / float64(s.svcCount); start-t > float64(f.QueueCap)*avg {
-				s.report.Dropped++
-				continue
-			}
-		}
-		if s.tl != nil {
-			s.tl.add(Hop{Packet: g, Stage: "dispatch", Unit: th, Start: start,
-				Wait: start - t, Depth: busyAfter(s.threadFree, t)})
-		}
-		e.bd.Queue += start - t
-		e.now = start
+// newRunState prepares one run of tr through s under ctx's budget; capHint
+// sizes the result's packet slice. The co-location engine uses this heap
+// form because it holds tenant runStates across many step calls; the solo
+// path calls initRunState on a stack value instead (one alloc saved per
+// run, which BenchmarkSimRun's allocs/op baseline pins).
+func (s *Sim) newRunState(ctx context.Context, tr *workload.Trace, capHint int) *runState {
+	rs := new(runState)
+	s.initRunState(rs, ctx, tr, capHint)
+	return rs
+}
 
-		var verdict uint64
-		var err error
-		if s.forceInterp {
-			verdict, err = s.interp.Run(e, &hooks)
-		} else {
-			verdict, err = s.compiled.Run(e, &hooks)
-		}
-		runSteps += e.steps
-		if err != nil {
-			s.bookThread(th, e.now)
-			if errors.Is(err, cir.ErrStepLimit) {
-				return nil, &budget.ExceededError{
-					Resource: "sim-steps", Limit: int64(simSteps),
-					Stage: "simulate", NF: s.prog.Name, Partial: finish(),
-				}
-			}
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, &budget.CanceledError{
-					Stage: "simulate", NF: s.prog.Name, Err: cerr, Partial: finish(),
-				}
-			}
-			res.Errors++
-			continue
-		}
-		s.bookThread(th, e.now)
-		s.svcSum += e.now - start
-		s.svcCount++
-		if s.tl != nil {
-			s.tl.add(Hop{Packet: g, Stage: "npu", Unit: th, Start: start, Dur: e.now - start})
-			// Memory time is interleaved with compute on the core, so the
-			// tracer reports it as one aggregate span per region rather than
-			// thousands of per-access events.
-			for r, cyc := range s.memCycles {
-				if cyc > 0 {
-					s.tl.add(Hop{Packet: g, Stage: "mem:" + s.nic.Mems[r].Name,
-						Unit: -1, Start: start, Dur: cyc})
-				}
-			}
-		}
+// initRunState fills rs in place for one run of tr through s under ctx's
+// budget.
+func (s *Sim) initRunState(rs *runState, ctx context.Context, tr *workload.Trace, capHint int) {
+	lim := budget.From(ctx)
+	s.runDPI = lim.DPIBytes
+	*rs = runState{
+		s: s, ctx: ctx, tr: tr,
+		lim:      lim,
+		simSteps: int(lim.SimStepLimit()),
+		metrics:  obs.From(ctx),
+		usage:    budget.UsageFrom(ctx),
+		clock:    s.nic.ClockGHz,
+		res: &Result{
+			NFName:       s.prog.Name,
+			Packets:      make([]PacketResult, 0, capHint),
+			CacheHitRate: map[string]float64{},
+		},
+	}
+	rs.decoded, rs.decodeErr = tr.Decoded()
+	rs.e = &exec{s: s}
+	rs.hooks = cir.Hooks{OnInstr: rs.e.onInstr, MaxSteps: rs.simSteps, Ctx: ctx}
+}
 
-		done := e.now
-		if verdict == cir.VerdictPass && e.emitted {
-			// Egress engine + switch hop. Packets reach these at completion
-			// times that are out of order across threads, and both stages
-			// are far overprovisioned for any workload here, so they add
-			// service latency without queueing contention (sequential
-			// server bookkeeping at out-of-order visit times would
-			// manufacture phantom waits behind long-running packets).
-			if eg := s.egressUnits; len(eg) > 0 {
-				svc := s.nic.Units[eg[0]].FixedCycles
-				s.tl.add(Hop{Packet: g, Stage: "egress", Unit: -1, Start: done, Dur: svc})
-				done += svc
-				e.bd.Fixed += svc
-			}
-			if len(s.nic.Hubs) > 1 {
-				svc := s.nic.Hubs[1].ServiceCycles
-				s.tl.add(Hop{Packet: g, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
-				done += svc
-				e.bd.Fixed += svc
-			}
-		}
+func (rs *runState) releaseCorrupt() {
+	if rs.corruptBuf != nil {
+		corruptPool.Put(rs.corruptBuf)
+		rs.corruptBuf = nil
+	}
+}
 
+// finish seals aggregate rates and the fault report; partial-result errors
+// carry the same sealed Result a full run would return.
+func (rs *runState) finish() *Result {
+	rs.releaseCorrupt()
+	s, res := rs.s, rs.res
+	for id, c := range s.caches {
+		res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+	}
+	if s.fc != nil {
+		res.FlowCacheHitRate = s.fc.HitRate()
+	} else {
+		res.FlowCacheHitRate = math.NaN()
+	}
+	if s.coloc != nil {
+		res.Contention = &ContentionReport{
+			StallCycles: s.contStall,
+			Waits:       s.contWaits,
+			WaitCycles:  s.contCycles,
+		}
+	}
+	res.Faults = s.report
+	res.Timeline = s.tl
+	rs.usage.AddSimEvents(int64(len(res.Packets)))
+	rs.usage.AddSimSteps(rs.runSteps)
+	if rs.metrics != nil {
+		rs.metrics.Counter("clara_sim_packets_total").Add(int64(len(res.Packets)))
+		rs.metrics.Counter("clara_sim_steps_total").Add(rs.runSteps)
+		rs.metrics.Counter("clara_sim_errors_total").Add(int64(res.Errors))
+		rs.metrics.Counter("clara_sim_dropped_total").Add(int64(s.report.Dropped))
+		rs.metrics.Counter("clara_sim_corrupted_total").Add(int64(s.report.Corrupted))
+	}
+	return res
+}
+
+// step simulates packet rs.tr.Packets[i], attributed the global event index
+// g. A typed budget/cancel error carries rs.finish() as its Partial — after
+// step returns non-nil the runState is sealed and must not step again.
+func (rs *runState) step(i, g int) error {
+	s, e, ctx := rs.s, rs.e, rs.ctx
+	rs.releaseCorrupt()
+	if err := ctx.Err(); err != nil {
+		return &budget.CanceledError{
+			Stage: "simulate", NF: s.prog.Name, Err: err, Partial: rs.finish(),
+		}
+	}
+	if rs.lim.SimEvents > 0 && int64(g) >= rs.lim.SimEvents {
+		return &budget.ExceededError{
+			Resource: "sim-events", Limit: rs.lim.SimEvents,
+			Stage: "simulate", NF: s.prog.Name, Partial: rs.finish(),
+		}
+	}
+	tp := &rs.tr.Packets[i]
+	arrival := tp.ArrivalNs * rs.clock
+	s.pktFaulted = false
+	s.curPkt = g
+	if s.memCycles != nil {
+		for r := range s.memCycles {
+			s.memCycles[r] = 0
+		}
+	}
+
+	data := tp.Data
+	corrupted := false
+	if f := s.faults; f != nil && f.Corrupt > 0 && len(data) > 0 && s.frandFloat() < f.Corrupt {
+		// Corrupt a pooled copy: trace packet data — and the decode cache
+		// aliasing it — is shared across runs and must stay intact.
+		rs.corruptBuf = corruptPool.Get().(*[]byte)
+		dup := *rs.corruptBuf
+		if cap(dup) < len(data) {
+			dup = make([]byte, len(data))
+		}
+		dup = dup[:len(data)]
+		*rs.corruptBuf = dup
+		copy(dup, data)
+		dup[int(s.frand()%uint64(len(dup)))] ^= byte(s.frand()%255 + 1)
+		data = dup
+		corrupted = true
+		s.report.Corrupted++
+		s.pktFaulted = true
+	}
+
+	e.reset(data, g)
+	decodeFailed := false
+	if corrupted {
+		// The wire bytes differ from the trace's, so the cached decode
+		// does not apply: decode the corrupted copy fresh.
+		decodeFailed = e.pkt.Decode(data) != nil
+	} else {
+		e.pkt = rs.decoded[i]
+		decodeFailed = rs.decodeErr[i]
+	}
+	if decodeFailed {
+		// Malformed frames traverse the NIC switch only.
+		t, dropped := s.hubVisit(0, arrival, &e.bd)
+		if dropped {
+			s.report.Dropped++
+			return nil
+		}
 		if s.pktFaulted {
 			s.report.FaultedPackets++
 		}
-		res.Packets = append(res.Packets, PacketResult{
-			ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
-			Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
+		rs.res.Packets = append(rs.res.Packets, PacketResult{
+			ArrivalCycles: arrival, DoneCycles: t, Latency: t - arrival,
+			Verdict: cir.VerdictPass, Class: "other", Breakdown: e.bd,
 		})
+		return nil
 	}
-	return finish(), nil
+
+	t := arrival
+	// Ingress: traffic-manager hub, DMA into packet memory, optional
+	// parse engine.
+	if len(s.nic.Hubs) > 0 {
+		var dropped bool
+		t, dropped = s.hubVisit(0, t, &e.bd)
+		if dropped {
+			s.report.Dropped++
+			return nil
+		}
+	}
+	dma := float64(len(data)/64+1) * 1.0
+	s.tl.add(Hop{Packet: g, Stage: "dma", Unit: -1, Start: t, Dur: dma})
+	t += dma
+	e.bd.Fixed += dma
+	if s.cfg.Place.ParseOnEngine && len(s.parserUnits) > 0 {
+		t = s.engineVisit(s.parserUnits[0], t, &e.bd)
+	}
+
+	// Dispatch to the earliest-free NPU thread (a packet binds to one
+	// thread, §3.2). The heap's root is the running minimum of
+	// threadFree, with ties broken toward the lowest index exactly as
+	// the linear scan it replaced resolved them.
+	th := s.threads.min()
+	start := math.Max(t, s.threadFree[th])
+	// Under a fault-injected queue cap, the dispatch queue in front of
+	// the NPU complex is finite: a wait exceeding QueueCap mean service
+	// times (≈ QueueCap packets queued, by Little's law) sheds the
+	// packet. The mean needs a few completed packets to stabilize.
+	if f := s.faults; f != nil && f.QueueCap > 0 && s.svcCount >= 8 {
+		if avg := s.svcSum / float64(s.svcCount); start-t > float64(f.QueueCap)*avg {
+			s.report.Dropped++
+			return nil
+		}
+	}
+	if s.tl != nil {
+		s.tl.add(Hop{Packet: g, Stage: "dispatch", Unit: th, Start: start,
+			Wait: start - t, Depth: busyAfter(s.threadFree, t)})
+	}
+	e.bd.Queue += start - t
+	e.now = start
+
+	var verdict uint64
+	var err error
+	if s.forceInterp {
+		verdict, err = s.interp.Run(e, &rs.hooks)
+	} else {
+		verdict, err = s.compiled.Run(e, &rs.hooks)
+	}
+	rs.runSteps += e.steps
+	if err != nil {
+		s.bookThread(th, e.now)
+		if errors.Is(err, cir.ErrStepLimit) {
+			return &budget.ExceededError{
+				Resource: "sim-steps", Limit: int64(rs.simSteps),
+				Stage: "simulate", NF: s.prog.Name, Partial: rs.finish(),
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return &budget.CanceledError{
+				Stage: "simulate", NF: s.prog.Name, Err: cerr, Partial: rs.finish(),
+			}
+		}
+		rs.res.Errors++
+		return nil
+	}
+	s.bookThread(th, e.now)
+	s.svcSum += e.now - start
+	s.svcCount++
+	if s.tl != nil {
+		s.tl.add(Hop{Packet: g, Stage: "npu", Unit: th, Start: start, Dur: e.now - start})
+		// Memory time is interleaved with compute on the core, so the
+		// tracer reports it as one aggregate span per region rather than
+		// thousands of per-access events.
+		for r, cyc := range s.memCycles {
+			if cyc > 0 {
+				s.tl.add(Hop{Packet: g, Stage: "mem:" + s.nic.Mems[r].Name,
+					Unit: -1, Start: start, Dur: cyc})
+			}
+		}
+	}
+
+	done := e.now
+	if verdict == cir.VerdictPass && e.emitted {
+		// Egress engine + switch hop. Packets reach these at completion
+		// times that are out of order across threads, and both stages
+		// are far overprovisioned for any workload here, so they add
+		// service latency without queueing contention (sequential
+		// server bookkeeping at out-of-order visit times would
+		// manufacture phantom waits behind long-running packets).
+		if eg := s.egressUnits; len(eg) > 0 {
+			svc := s.nic.Units[eg[0]].FixedCycles
+			s.tl.add(Hop{Packet: g, Stage: "egress", Unit: -1, Start: done, Dur: svc})
+			done += svc
+			e.bd.Fixed += svc
+		}
+		if len(s.nic.Hubs) > 1 {
+			svc := s.nic.Hubs[1].ServiceCycles
+			s.tl.add(Hop{Packet: g, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
+			done += svc
+			e.bd.Fixed += svc
+		}
+	}
+
+	if s.pktFaulted {
+		s.report.FaultedPackets++
+	}
+	rs.res.Packets = append(rs.res.Packets, PacketResult{
+		ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
+		Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
+	})
+	return nil
 }
 
 // bookThread advances thread th's next-free time and restores the heap. th
@@ -797,6 +890,12 @@ func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) (float64, bool) {
 	start := math.Max(t, servers[best])
 	if f := s.faults; f != nil && f.QueueCap > 0 && start-t > float64(f.QueueCap)*h.ServiceCycles {
 		return t, true // queue overflow: drop without booking a server
+	}
+	if c := s.coloc; c != nil {
+		if wait := start - t; wait > 0 && c.hubOwner[hub][best] != s.tenant {
+			s.noteContention("hub:"+h.Name, wait)
+		}
+		c.hubOwner[hub][best] = s.tenant
 	}
 	if s.tl != nil {
 		stage := "ingress-hub"
@@ -953,8 +1052,33 @@ func (s *Sim) claimServer(unit int, now, svc float64) (float64, int) {
 		}
 	}
 	start := math.Max(now, servers[best])
+	if c := s.coloc; c != nil {
+		own := c.unitOwner[unit]
+		if own == nil {
+			own = make([]int, len(servers))
+			for i := range own {
+				own[i] = -1
+			}
+			c.unitOwner[unit] = own
+		}
+		if wait := start - now; wait > 0 && own[best] != s.tenant {
+			s.noteContention(c.resName(s.nic, unit), wait)
+		}
+		own[best] = s.tenant
+	}
 	servers[best] = start + svc
 	return start, best
+}
+
+// noteContention accounts one cross-tenant wait on a shared resource.
+func (s *Sim) noteContention(resource string, cycles float64) {
+	s.contStall += cycles
+	if s.contWaits == nil {
+		s.contWaits = map[string]uint64{}
+		s.contCycles = map[string]float64{}
+	}
+	s.contWaits[resource]++
+	s.contCycles[resource] += cycles
 }
 
 // stateSeed derives the RNG seed for one named state object: an FNV-1a hash

@@ -117,17 +117,8 @@ func runShard(ctx context.Context, cfg Config, tr *workload.Trace, base, lo, hi,
 	}
 	obs.From(ctx).Counter("clara_sim_shards_total").Add(1)
 	res, err := sim.runRange(ctx, tr, base, lo, hi)
-	sr := shardRun{res: res, err: err, fcPresent: sim.fc != nil}
-	sr.cacheHits = make(map[string]uint64, len(sim.caches))
-	sr.cacheTotal = make(map[string]uint64, len(sim.caches))
-	for id, c := range sim.caches {
-		name := sim.nic.Mems[id].Name
-		sr.cacheHits[name] = c.hits
-		sr.cacheTotal[name] = c.hits + c.misses
-	}
-	if sim.fc != nil {
-		sr.fcHits, sr.fcTotal = sim.fc.hits, sim.fc.hits+sim.fc.misses
-	}
+	sr := shardRun{res: res, err: err}
+	captureCounters(sim, &sr)
 	return sr
 }
 
@@ -332,6 +323,12 @@ func mergeShards(ctx context.Context, cfg Config, runs []shardRun) (*Result, err
 		merged.Packets = append(merged.Packets, r.Packets...)
 		merged.Errors += r.Errors
 		mergeFaultReports(&merged.Faults, &r.Faults)
+		if r.Contention != nil {
+			if merged.Contention == nil {
+				merged.Contention = &ContentionReport{}
+			}
+			mergeContention(merged.Contention, r.Contention)
+		}
 		if merged.Timeline != nil && r.Timeline != nil {
 			merged.Timeline.Hops = append(merged.Timeline.Hops, r.Timeline.Hops...)
 		}
@@ -393,6 +390,27 @@ func mergeFaultReports(dst, src *FaultReport) {
 			dst.DegradeCycles = map[string]float64{}
 		}
 		dst.DegradeCycles[class] += c
+	}
+}
+
+// mergeContention adds src's raw contention counts into dst. Like the cache
+// hit rate, stall *rates* could not be merged — only raw wait counts and
+// cycle sums can, which is why ContentionReport carries sums exclusively.
+// Maps allocate only when src recorded contention on that axis, so a
+// contention-free merge preserves nil maps.
+func mergeContention(dst, src *ContentionReport) {
+	dst.StallCycles += src.StallCycles
+	for res, n := range src.Waits {
+		if dst.Waits == nil {
+			dst.Waits = map[string]uint64{}
+		}
+		dst.Waits[res] += n
+	}
+	for res, c := range src.WaitCycles {
+		if dst.WaitCycles == nil {
+			dst.WaitCycles = map[string]float64{}
+		}
+		dst.WaitCycles[res] += c
 	}
 }
 

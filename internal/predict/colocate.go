@@ -1,0 +1,216 @@
+package predict
+
+import (
+	"fmt"
+
+	"clara/internal/cir"
+	"clara/internal/lnic"
+	"clara/internal/mapper"
+	"clara/internal/symexec"
+)
+
+// This file predicts performance under multi-tenant co-location. The model
+// has two parts, mirroring how the multi-tenant simulator arbitrates:
+//
+//  1. General cores are hard-partitioned by weight, which slicing already
+//     captures: each tenant is mapped and predicted against an
+//     lnic.Slice(weight/total) view of the NIC.
+//  2. Accelerators, hubs and memories are shared, so each tenant's service
+//     times inflate by a fitted slowdown curve (lnic.ContentionModel)
+//     evaluated at the *other* tenants' aggregate load on that resource —
+//     the loads coming from the solo predictions' ResourceLoad maps, whose
+//     keys match the simulator's contention-report keys.
+//
+// The naive alternative — predicting each tenant alone on the full NIC and
+// summing — ignores both effects; PredictColocatedNaive computes it as the
+// eval baseline.
+
+// ColocTenant is one NF in a co-location scenario.
+type ColocTenant struct {
+	Prog *cir.Program
+	// Classes optionally supplies the behaviour enumeration (must come from
+	// symexec.Enumerate on Prog); nil enumerates here.
+	Classes []symexec.Class
+	// Weight is the tenant's share of the partitioned resources; a weight
+	// ≤ 0 deactivates the tenant (its prediction slot stays nil).
+	Weight float64
+	// Workload carries the tenant's own traffic expectations.
+	Workload mapper.Workload
+}
+
+// PredictColocated predicts every active tenant's performance profile when
+// co-located on nic. With a single active tenant the result is exactly the
+// solo pipeline on the full NIC (no slicing, no inflation), so co-location
+// analysis degrades gracefully to Predict. model may be nil, selecting the
+// analytic fallback curves; fit one with microbench.FitContention for
+// simulator-calibrated slowdowns.
+func PredictColocated(tenants []ColocTenant, nic *lnic.LNIC, model *lnic.ContentionModel, opts Options) ([]*Prediction, error) {
+	var active []int
+	total := 0.0
+	cls := make([][]symexec.Class, len(tenants))
+	for i, t := range tenants {
+		if t.Weight <= 0 {
+			continue
+		}
+		if t.Prog == nil {
+			return nil, fmt.Errorf("predict: co-located tenant %d has no program", i)
+		}
+		cls[i] = t.Classes
+		if cls[i] == nil {
+			var err error
+			cls[i], err = symexec.Enumerate(t.Prog)
+			if err != nil {
+				return nil, fmt.Errorf("predict: co-located tenant %d: %w", i, err)
+			}
+		}
+		active = append(active, i)
+		total += t.Weight
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("predict: no active co-located tenants")
+	}
+	out := make([]*Prediction, len(tenants))
+
+	// One active tenant: the full NIC, the plain pipeline, byte-identical
+	// to a solo Predict.
+	if len(active) == 1 {
+		i := active[0]
+		p, _, err := soloPredict(tenants[i].Prog, cls[i], tenants[i].Workload, nic, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+		return out, nil
+	}
+
+	// Phase 1: per-tenant solo predictions on weighted slices. The mapping
+	// is solved against the slice so placement adapts to the shrunken core
+	// pool, exactly as the simulator partitions threads.
+	type soloRun struct {
+		pred *Prediction
+		m    *mapper.Mapping
+		sl   *lnic.LNIC
+	}
+	solos := make(map[int]soloRun, len(active))
+	// The phase-1 solos must report per-resource loads — that's the signal
+	// phase 2 couples tenants through — regardless of what the caller asked
+	// for on the final predictions.
+	soloOpts := opts
+	soloOpts.ResourceLoad = true
+	for _, i := range active {
+		sl := nic.Slice(tenants[i].Weight / total)
+		p, m, err := soloPredict(tenants[i].Prog, cls[i], tenants[i].Workload, sl, soloOpts)
+		if err != nil {
+			return nil, fmt.Errorf("predict: co-located tenant %d: %w", i, err)
+		}
+		solos[i] = soloRun{pred: p, m: m, sl: sl}
+	}
+
+	// Phase 2: contended re-prediction. Each tenant sees the others'
+	// aggregate per-resource load and pays the fitted slowdown on shared
+	// service times.
+	for _, i := range active {
+		other := map[string]float64{}
+		for _, j := range active {
+			if j == i {
+				continue
+			}
+			for key, load := range solos[j].pred.ResourceLoad {
+				other[key] += load
+			}
+		}
+		infl := inflate(solos[i].sl, model, other)
+		p, err := PredictWithClasses(tenants[i].Prog, cls[i], solos[i].m, infl, tenants[i].Workload, opts)
+		if err != nil {
+			return nil, fmt.Errorf("predict: co-located tenant %d contended: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// PredictColocatedNaive is the contention-oblivious baseline: every active
+// tenant predicted alone on the full NIC, as if its neighbours did not
+// exist. The eval harness compares it against PredictColocated with the
+// multi-tenant simulator as ground truth.
+func PredictColocatedNaive(tenants []ColocTenant, nic *lnic.LNIC, opts Options) ([]*Prediction, error) {
+	out := make([]*Prediction, len(tenants))
+	any := false
+	for i, t := range tenants {
+		if t.Weight <= 0 {
+			continue
+		}
+		any = true
+		p, _, err := soloPredict(t.Prog, t.Classes, t.Workload, nic, opts)
+		if err != nil {
+			return nil, fmt.Errorf("predict: naive tenant %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	if !any {
+		return nil, fmt.Errorf("predict: no active co-located tenants")
+	}
+	return out, nil
+}
+
+// soloPredict runs the standard pipeline (annotate → map → predict) for one
+// tenant against the given NIC view, returning the mapping for reuse by the
+// contended pass. The steps and their inputs match NF.PredictContext, so a
+// single-active-tenant co-location equals the solo prediction exactly.
+func soloPredict(prog *cir.Program, classes []symexec.Class, wl mapper.Workload, nic *lnic.LNIC, opts Options) (*Prediction, *mapper.Mapping, error) {
+	if classes == nil {
+		var err error
+		classes, err = symexec.Enumerate(prog)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := cir.BuildGraph(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	ag := symexec.AnnotatedGraph(g, classes, symexec.WeightsFor(wl))
+	m, err := mapper.Map(ag, nic, wl, mapper.Hints{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapping %s on %s: %w", prog.Name, nic.Name, err)
+	}
+	p, err := PredictWithClasses(prog, classes, m, nic, wl, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+// inflate clones the tenant's NIC view with shared service times scaled by
+// the model's slowdown at the competing load: accelerator fixed and
+// per-byte cycles, hub service cycles, and memory load/store/cache-hit
+// latencies. Topology is untouched, so mappings solved against the original
+// slice stay valid.
+func inflate(nic *lnic.LNIC, model *lnic.ContentionModel, other map[string]float64) *lnic.LNIC {
+	c := nic.Clone()
+	for i := range c.Units {
+		u := &c.Units[i]
+		if u.Kind != lnic.UnitAccel {
+			continue
+		}
+		if s := model.Slowdown(lnic.ResAccel, other["accel:"+u.AccelClass]); s > 1 {
+			u.FixedCycles *= s
+			u.PerByteCycles *= s
+		}
+	}
+	for i := range c.Hubs {
+		h := &c.Hubs[i]
+		if s := model.Slowdown(lnic.ResHub, other["hub:"+h.Name]); s > 1 {
+			h.ServiceCycles *= s
+		}
+	}
+	for i := range c.Mems {
+		m := &c.Mems[i]
+		if s := model.Slowdown(lnic.ResMem, other["mem:"+m.Name]); s > 1 {
+			m.LoadCycles *= s
+			m.StoreCycles *= s
+			m.CacheHitCycles *= s
+		}
+	}
+	return c
+}

@@ -28,9 +28,14 @@ type costEnv struct {
 	// core cycles, memStall the cycles spent waiting on memory (threads
 	// yield, so stalls burn a fraction of core power), memAccesses counts
 	// accesses per region, and accel time is tracked per class below.
+	// memCycles splits memStall by region so the co-location predictor can
+	// report per-region utilization (Prediction.ResourceLoad); nil — the
+	// default — skips the tracking, keeping the solo Predict path free of
+	// the extra map work.
 	compute     float64
 	memStall    float64
 	memAccesses map[int]float64
+	memCycles   map[int]float64 // nil unless Options.ResourceLoad
 	parsed      map[uint64]bool
 	accelUses   map[string]float64
 	accelSvc    map[string]float64
@@ -87,6 +92,9 @@ func (e *costEnv) chargeMem(region int, n, perAccess float64) {
 	e.cycles += n * perAccess
 	e.memStall += n * perAccess
 	e.memAccesses[region] += n
+	if e.memCycles != nil {
+		e.memCycles[region] += n * perAccess
+	}
 }
 
 // energyNJ totals the class's energy under the coefficient model: active

@@ -30,6 +30,12 @@ type Options struct {
 	HeavyRate float64
 	// NoQueueing disables the M/M/c waiting-time correction (ablation).
 	NoQueueing bool
+	// ResourceLoad fills Prediction.ResourceLoad with per-resource offered
+	// utilizations. Off by default: the co-location predictor is the only
+	// consumer, and building the map (plus the per-class memory-cycle
+	// tracking behind it) costs allocations the solo hot path — pinned by
+	// BenchmarkPredict's allocs/op baseline — should not pay.
+	ResourceLoad bool
 }
 
 // ClassPrediction is the latency prediction for one packet class — the
@@ -71,6 +77,15 @@ type Prediction struct {
 	// PowerWatts is EnergyNJ at the offered rate.
 	EnergyNJ   float64
 	PowerWatts float64
+	// ResourceLoad is the offered utilization per resource at the workload
+	// rate (rate × demand / (servers × clock)), keyed "cores", "accel:<class>",
+	// "hub:<name>" and "mem:<name>" — the same keys the multi-tenant
+	// simulator's ContentionReport uses. Values are uncapped (> 1 means the
+	// resource is oversubscribed). Nil unless Options.ResourceLoad is set
+	// and the workload has a rate. The
+	// co-location predictor sums other tenants' loads through these entries;
+	// memory loads are informational and never enter the bottleneck scan.
+	ResourceLoad map[string]float64
 }
 
 // String renders the profile.
@@ -121,10 +136,17 @@ func PredictWithClasses(prog *cir.Program, classes []symexec.Class, m *mapper.Ma
 	var meanExec, meanAccelUse, meanAccelSvc float64
 	accelUse := map[string]float64{} // accel class → expected visits/packet
 	accelSvc := map[string]float64{} // accel class → expected service/visit
+	var memCycles map[int]float64    // region → expected stall cycles/packet (ResourceLoad only)
+	if opts.ResourceLoad {
+		memCycles = map[int]float64{}
+	}
 	for ci := range classes {
 		attrs := classes[ci].Attrs
 		attrs.PayloadLen = int(wl.AvgPayload)
 		env := newCostEnv(prog, m, nic, wl, cm, attrs)
+		if opts.ResourceLoad {
+			env.memCycles = map[int]float64{}
+		}
 		hooks := &cir.Hooks{OnInstr: env.onInstr, MaxSteps: 2_000_000}
 		verdict, err := cir.NewInterp(prog).Run(env, hooks)
 		if err != nil {
@@ -145,6 +167,9 @@ func PredictWithClasses(prog *cir.Program, classes []symexec.Class, m *mapper.Ma
 			if uses > 0 {
 				accelSvc[class] = env.accelSvc[class] / uses
 			}
+		}
+		for region, cyc := range env.memCycles {
+			memCycles[region] += probs[ci] * cyc
 		}
 	}
 	_ = meanAccelUse
@@ -174,11 +199,20 @@ func PredictWithClasses(prog *cir.Program, classes []symexec.Class, m *mapper.Ma
 	clockHz := nic.ClockGHz * 1e9
 	type resource struct {
 		name    string
+		key     string // ResourceLoad key, aligned with the simulator's contention keys
 		servers float64
 		demand  float64 // cycles per packet on this resource
 	}
+	// rlKey materializes a ResourceLoad key; when loads aren't requested it
+	// returns "" so the hot path never pays the string concat.
+	rlKey := func(prefix, name string) string {
+		if !opts.ResourceLoad {
+			return ""
+		}
+		return prefix + name
+	}
 	var resources []resource
-	resources = append(resources, resource{"cores", float64(coreServers(nic)), meanExec - totalAccelCycles(accelUse, accelSvc)})
+	resources = append(resources, resource{"cores", "cores", float64(coreServers(nic)), meanExec - totalAccelCycles(accelUse, accelSvc)})
 	// Iterate accelerator classes in sorted order so the resource list — and
 	// with it tie-breaking of the bottleneck and the floating-point summation
 	// order of the queueing correction — is deterministic across runs.
@@ -198,12 +232,28 @@ func PredictWithClasses(prog *cir.Program, classes []symexec.Class, m *mapper.Ma
 		}
 		resources = append(resources, resource{
 			name:    nic.Units[ids[0]].Name,
+			key:     rlKey("accel:", class),
 			servers: float64(len(ids) * nic.Units[ids[0]].Threads),
 			demand:  uses * accelSvc[class],
 		})
 	}
 	for _, h := range nic.Hubs {
-		resources = append(resources, resource{h.Name, 8, h.ServiceCycles})
+		resources = append(resources, resource{h.Name, rlKey("hub:", h.Name), 8, h.ServiceCycles})
+	}
+	if opts.ResourceLoad && wl.RatePPS > 0 {
+		pred.ResourceLoad = make(map[string]float64, len(resources)+len(memCycles))
+		for _, r := range resources {
+			if r.demand <= 0 || r.servers <= 0 {
+				continue
+			}
+			pred.ResourceLoad[r.key] = wl.RatePPS * r.demand / (r.servers * clockHz)
+		}
+		for region, cyc := range memCycles {
+			if cyc <= 0 {
+				continue
+			}
+			pred.ResourceLoad["mem:"+nic.Mems[region].Name] = wl.RatePPS * cyc / clockHz
+		}
 	}
 	best := math.Inf(1)
 	for _, r := range resources {

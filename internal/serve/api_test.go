@@ -187,8 +187,8 @@ func TestReadyzHealthyServer(t *testing.T) {
 	if !rr.Ready || rr.Draining || rr.SelfCheck != "ok" {
 		t.Fatalf("ready body %+v, want ready with passing self-check", rr)
 	}
-	if len(rr.Breakers) != 4 {
-		t.Fatalf("%d breakers reported, want 4 (advise, predict, partial, measure)", len(rr.Breakers))
+	if len(rr.Breakers) != 5 {
+		t.Fatalf("%d breakers reported, want 5 (advise, predict, partial, measure, colocate)", len(rr.Breakers))
 	}
 	for endpoint, state := range rr.Breakers {
 		if state != jobs.BreakerClosed {

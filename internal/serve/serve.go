@@ -242,7 +242,7 @@ func New(cfg Config) (*Server, error) {
 		Metrics:     m,
 	})
 	s.breakers = map[string]*jobs.Breaker{}
-	for _, endpoint := range []string{"advise", "predict", "partial", "measure"} {
+	for _, endpoint := range []string{"advise", "predict", "partial", "measure", "colocate"} {
 		endpoint := endpoint
 		bc := cfg.Breaker
 		bc.OnTransition = func(from, to string) {
@@ -275,6 +275,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/v1/predict", s.instrument("predict", s.handlePredict))
 	mux.Handle("/v1/partial", s.instrument("partial", s.handlePartial))
 	mux.Handle("/v1/measure", s.instrument("measure", s.handleMeasure))
+	mux.Handle("/v1/colocate", s.instrument("colocate", s.handleColocate))
 	mux.Handle("/v1/nfs", s.instrument("nfs", s.handleNFs))
 	mux.Handle("/v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.Handle("/v1/jobs/", s.instrument("jobs", s.handleJobByID))
@@ -411,6 +412,29 @@ type Request struct {
 	// weighted-fair scheduling bucket the job bills to.
 	Kind   string `json:"kind,omitempty"`
 	Tenant string `json:"tenant,omitempty"`
+	// Tenants applies to /v1/colocate only: the NFs sharing the target NIC.
+	// The top-level NF/Source fields are unused there.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// TenantSpec names one co-located tenant for /v1/colocate. Exactly one of
+// NF (library name) or Source (inline dialect) is required. Weight is the
+// tenant's share of the partitioned cores: omitted or 0 means 1, negative
+// deactivates the tenant (its prediction comes back null). Workload
+// overrides the request-level workload for this tenant only.
+type TenantSpec struct {
+	NF       string  `json:"nf,omitempty"`
+	Source   string  `json:"source,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+}
+
+// weight resolves the spec's effective share (absent → 1).
+func (t TenantSpec) weight() float64 {
+	if t.Weight == 0 {
+		return 1
+	}
+	return t.Weight
 }
 
 // errorBody is the JSON error envelope.
@@ -660,12 +684,21 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	sum := sha256.Sum256([]byte(source))
 	hash := hex.EncodeToString(sum[:])
 	key := resultKey(endpoint, hash, &req)
-	// The computation runs under the flight leader's clamped deadline, so
-	// sharing is scoped to requests with an identical timeout spec — a
-	// generous request must not inherit a 504 from a 1ms leader. The result
-	// cache stays timeout-agnostic: a rendered body is valid for any
-	// deadline, whichever flight produced it.
-	flightKey := key + "\x00" + req.Timeout
+	return s.cachedFlight(w, endpoint, key, req.Timeout, func() ([]byte, error) {
+		return s.computeBody(s.base, endpoint, key, hash, source, &req, compute)
+	})
+}
+
+// cachedFlight is the result-cache + singleflight + chaos-guard machinery
+// shared by analyze and the multi-tenant colocate endpoint: consult the
+// rendered-result cache under key, and on a miss run compute at most once
+// per flight. The computation runs under the flight leader's clamped
+// deadline, so sharing is scoped to requests with an identical timeout spec
+// — a generous request must not inherit a 504 from a 1ms leader. The result
+// cache stays timeout-agnostic: a rendered body is valid for any deadline,
+// whichever flight produced it.
+func (s *Server) cachedFlight(w http.ResponseWriter, endpoint, key, timeout string, compute func() ([]byte, error)) int {
+	flightKey := key + "\x00" + timeout
 
 	if body, ok := s.results.get(key); ok {
 		s.metrics.Counter("clara_serve_cache_hits_total", "endpoint", endpoint).Inc()
@@ -674,19 +707,16 @@ func (s *Server) analyze(w http.ResponseWriter, r *http.Request, endpoint string
 	s.metrics.Counter("clara_serve_cache_misses_total", "endpoint", endpoint).Inc()
 
 	body, err, shared := s.flight.do(flightKey, func() ([]byte, error) {
-		run := func() ([]byte, error) {
-			return s.computeBody(s.base, endpoint, key, hash, source, &req, compute)
-		}
 		// With chaos enabled the injected faults (including panics) must
 		// stay inside this flight, so it runs under a Guard boundary; with
 		// chaos off the path is exactly the production one — a real panic
 		// propagates to net/http's per-connection recover.
 		if ch := s.currentChaos(); ch != nil {
 			return budget.Guard1("serve", endpoint, func() ([]byte, error) {
-				return ch.Do(flightKey, 0, run)
+				return ch.Do(flightKey, 0, compute)
 			})
 		}
-		return run()
+		return compute()
 	})
 	if shared {
 		s.metrics.Counter("clara_serve_singleflight_shared_total", "endpoint", endpoint).Inc()
@@ -866,6 +896,113 @@ func (s *Server) measureCompute(ctx context.Context, nf *clara.NF, req *Request)
 		out.FaultReport = &fr
 	}
 	return out, nil
+}
+
+// colocateResponse is one co-location analysis: per-tenant contention-aware
+// predictions on the shared target.
+type colocateResponse struct {
+	Target  string           `json:"target"`
+	Tenants []colocateTenant `json:"tenants"`
+}
+
+type colocateTenant struct {
+	NF       string  `json:"nf"`
+	Weight   float64 `json:"weight"`
+	Workload string  `json:"workload"`
+	// Prediction is null for deactivated tenants (weight < 0).
+	Prediction *clara.Prediction `json:"prediction,omitempty"`
+}
+
+// handleColocate predicts every tenant's performance when the named NFs are
+// co-located on one target NIC (clara.PredictColocated: weighted slices plus
+// fitted contention slowdowns). The result cache key is the ordered NF set —
+// each tenant's source hash, weight and workload — plus target and budget,
+// so permuting tenants or reweighting them is a different cache entry while
+// a repeated scenario is answered from memory.
+func (s *Server) handleColocate(w http.ResponseWriter, r *http.Request) int {
+	var req Request
+	if err := decode(w, r, &req); err != nil {
+		return writeError(w, decodeStatus(err), err)
+	}
+	if len(req.Tenants) == 0 {
+		return writeError(w, http.StatusBadRequest, errors.New(`"tenants" must name at least one NF`))
+	}
+	sources := make([]string, len(req.Tenants))
+	workloads := make([]string, len(req.Tenants))
+	keyParts := []string{"colocate", req.Target, req.Workload, req.Budget}
+	for i, ts := range req.Tenants {
+		lookup := Request{NF: ts.NF, Source: ts.Source}
+		src, err := s.resolveSource(&lookup)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, fmt.Errorf("tenant %d: %w", i, err))
+		}
+		sources[i] = src
+		workloads[i] = ts.Workload
+		if workloads[i] == "" {
+			workloads[i] = req.Workload
+		}
+		sum := sha256.Sum256([]byte(src))
+		keyParts = append(keyParts, hex.EncodeToString(sum[:]),
+			strconv.FormatFloat(ts.weight(), 'g', -1, 64), ts.Workload)
+	}
+	key := strings.Join(keyParts, "\x00")
+
+	return s.cachedFlight(w, "colocate", key, req.Timeout, func() ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.base.Done():
+			return nil, &budget.CanceledError{Stage: "serve", Err: s.base.Err()}
+		}
+		defer func() { <-s.sem }()
+		if s.testComputeGate != nil {
+			s.testComputeGate()
+		}
+
+		nfs := make([]*clara.NF, len(req.Tenants))
+		weights := make([]float64, len(req.Tenants))
+		wls := make([]clara.Workload, len(req.Tenants))
+		for i := range req.Tenants {
+			sum := sha256.Sum256([]byte(sources[i]))
+			nf, err := s.compiledNF(hex.EncodeToString(sum[:]), sources[i])
+			if err != nil {
+				return nil, fmt.Errorf("tenant %d: %w", i, err)
+			}
+			wl, err := clara.ParseWorkload(workloads[i])
+			if err != nil {
+				return nil, fmt.Errorf("tenant %d: %w", i, err)
+			}
+			nfs[i], weights[i], wls[i] = nf, req.Tenants[i].weight(), wl
+		}
+		t, err := clara.NewTarget(req.Target)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel, err := cliutil.RequestContext(s.base, req.Timeout, req.Budget, s.cfg.MaxTimeout, s.cfg.MaxBudget)
+		if err != nil {
+			return nil, err
+		}
+		defer cancel()
+		ctx = obs.With(ctx, s.metrics)
+		ctx = budget.WithUsage(ctx, s.usage)
+
+		s.metrics.Counter("clara_serve_computations_total", "endpoint", "colocate").Inc()
+		preds, err := clara.PredictColocatedContext(ctx, nfs, weights, t, wls)
+		if err != nil {
+			return nil, err
+		}
+		out := colocateResponse{Target: req.Target, Tenants: make([]colocateTenant, len(preds))}
+		for i, p := range preds {
+			out.Tenants[i] = colocateTenant{
+				NF: nfs[i].Name(), Weight: weights[i], Workload: workloads[i], Prediction: p,
+			}
+		}
+		rendered, err := json.Marshal(out)
+		if err != nil {
+			return nil, &budget.PanicError{Stage: "serve", NF: "colocate", Value: err}
+		}
+		s.results.add(key, rendered)
+		return rendered, nil
+	})
 }
 
 // sweepResponse is the jobs-only "sweep" kind: one prediction per known

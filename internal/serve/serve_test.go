@@ -553,6 +553,73 @@ func ExampleServer() {
 	// Output: ok
 }
 
+// TestColocateEndpoint exercises POST /v1/colocate: two co-located tenants
+// predicted with contention, result caching keyed on the NF set and weights
+// (a reweighted request recomputes; a repeated one is a byte-identical hit),
+// and a null prediction slot for a deactivated tenant.
+func TestColocateEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := Request{Target: "netronome", Workload: testWorkload,
+		Tenants: []TenantSpec{{NF: "firewall"}, {NF: "firewall", Weight: 2}}}
+
+	resp1, body1 := post(t, ts.URL+"/v1/colocate", req)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("cold colocate: %d %s", resp1.StatusCode, body1)
+	}
+	var parsed colocateResponse
+	if err := json.Unmarshal(body1, &parsed); err != nil {
+		t.Fatalf("colocate body not JSON: %v\n%s", err, body1)
+	}
+	if len(parsed.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(parsed.Tenants))
+	}
+	for i, ten := range parsed.Tenants {
+		if ten.Prediction == nil || ten.Prediction.MeanCycles <= 0 {
+			t.Errorf("tenant %d: missing or empty prediction: %+v", i, ten)
+		}
+	}
+
+	// A repeated scenario is a cache hit, byte for byte.
+	resp2, body2 := post(t, ts.URL+"/v1/colocate", req)
+	if got := resp2.Header.Get("X-Clara-Cache"); got != "hit" {
+		t.Errorf("repeat colocate X-Clara-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache hit body differs from cold body")
+	}
+	if n := s.Metrics().Counter("clara_serve_computations_total", "endpoint", "colocate").Value(); n != 1 {
+		t.Errorf("computations after 2 identical requests = %d, want 1", n)
+	}
+
+	// Reweighting a tenant changes the result identity.
+	req.Tenants[1].Weight = 3
+	resp3, _ := post(t, ts.URL+"/v1/colocate", req)
+	if got := resp3.Header.Get("X-Clara-Cache"); got != "miss" {
+		t.Errorf("reweighted colocate X-Clara-Cache = %q, want miss", got)
+	}
+
+	// A deactivated tenant (negative weight) comes back null; the solo
+	// neighbour still predicts.
+	req.Tenants[1].Weight = -1
+	resp4, body4 := post(t, ts.URL+"/v1/colocate", req)
+	if resp4.StatusCode != 200 {
+		t.Fatalf("deactivated colocate: %d %s", resp4.StatusCode, body4)
+	}
+	var deact colocateResponse
+	if err := json.Unmarshal(body4, &deact); err != nil {
+		t.Fatal(err)
+	}
+	if deact.Tenants[0].Prediction == nil || deact.Tenants[1].Prediction != nil {
+		t.Errorf("deactivation: want active[0] + null[1], got %+v", deact.Tenants)
+	}
+
+	// No tenants is a 400.
+	resp5, _ := post(t, ts.URL+"/v1/colocate", Request{Target: "netronome", Workload: testWorkload})
+	if resp5.StatusCode != http.StatusBadRequest {
+		t.Errorf("tenantless colocate: %d, want 400", resp5.StatusCode)
+	}
+}
+
 // TestMeasureEndpoint exercises POST /v1/measure: a simulator run with an
 // explicit seed, a second request differing only in worker count answered
 // from the cache (shard-count invariance makes "shards" a scheduling knob,
