@@ -1,23 +1,11 @@
 package clara
 
 import (
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"testing"
-)
 
-// benchBaseline is one entry of testdata/bench_baseline.json: a pinned
-// ns/op and allocs/op for a named benchmark. AllocsPerOp is exact (the Go
-// allocator is deterministic for these paths) so it gets no tolerance;
-// ns/op gets MaxRegressPct of headroom for machine noise.
-type benchBaseline struct {
-	Benchmark     string  `json:"benchmark"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	MaxRegressPct float64 `json:"max_regress_pct"`
-	Note          string  `json:"note"`
-}
+	"clara/internal/benchguard"
+)
 
 // guardedBenchmarks maps baseline names to the benchmark functions the guard
 // reruns. Adding a baseline entry without registering its function here is a
@@ -33,59 +21,11 @@ var guardedBenchmarks = map[string]func(*testing.B){
 
 // TestBenchGuard fails when a guarded hot path regresses against the
 // checked-in baselines in testdata/bench_baseline.json — Predict (the 19µs
-// steady-state prediction loop) and SimRun (the zero-allocation simulator
-// packet loop) on both time and allocation axes.
-//
-// It reruns the benchmarks via testing.Benchmark, so it only runs when
-// BENCH_GUARD=1 is set (CI's benchmark-guard job); local `go test ./...`
-// skips it to stay fast and to avoid flaking on loaded machines. To
-// re-baseline deliberately, follow DESIGN.md "Hot path".
+// steady-state prediction loop) and SimRun (the low-allocation simulator
+// packet loop) on both time and allocation axes. internal/nicsim carries a
+// sibling guard for its cache and thread-heap micro-benchmarks; both run
+// through internal/benchguard (see there for the BENCH_GUARD gate and the
+// re-baseline discipline).
 func TestBenchGuard(t *testing.T) {
-	if os.Getenv("BENCH_GUARD") == "" {
-		t.Skip("set BENCH_GUARD=1 to enforce the benchmark baselines")
-	}
-	raw, err := os.ReadFile(filepath.Join("testdata", "bench_baseline.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var bases []benchBaseline
-	if err := json.Unmarshal(raw, &bases); err != nil {
-		t.Fatal(err)
-	}
-	if len(bases) == 0 {
-		t.Fatal("empty baseline file")
-	}
-	for _, base := range bases {
-		base := base
-		t.Run(base.Benchmark, func(t *testing.T) {
-			fn := guardedBenchmarks[base.Benchmark]
-			if fn == nil || base.NsPerOp <= 0 || base.MaxRegressPct <= 0 || base.AllocsPerOp < 0 {
-				t.Fatalf("malformed or unregistered baseline: %+v", base)
-			}
-			// Best of three: guards against a background-noise spike failing
-			// CI while still catching genuine slowdowns. Allocation counts
-			// are noise-free, so the minimum is simply the true value.
-			bestNs, bestAllocs := 0.0, int64(-1)
-			for i := 0; i < 3; i++ {
-				r := testing.Benchmark(fn)
-				if ns := float64(r.NsPerOp()); bestNs == 0 || ns < bestNs {
-					bestNs = ns
-				}
-				if a := r.AllocsPerOp(); bestAllocs < 0 || a < bestAllocs {
-					bestAllocs = a
-				}
-			}
-			limit := base.NsPerOp * (1 + base.MaxRegressPct/100)
-			t.Logf("%s: best %.0f ns/op (baseline %.0f, limit %.0f), %d allocs/op (baseline %d)",
-				base.Benchmark, bestNs, base.NsPerOp, limit, bestAllocs, base.AllocsPerOp)
-			if bestNs > limit {
-				t.Errorf("%s regressed: %.0f ns/op exceeds baseline %.0f +%g%% (limit %.0f)",
-					base.Benchmark, bestNs, base.NsPerOp, base.MaxRegressPct, limit)
-			}
-			if bestAllocs > base.AllocsPerOp {
-				t.Errorf("%s regressed: %d allocs/op exceeds baseline %d",
-					base.Benchmark, bestAllocs, base.AllocsPerOp)
-			}
-		})
-	}
+	benchguard.Enforce(t, filepath.Join("testdata", "bench_baseline.json"), guardedBenchmarks)
 }

@@ -1,0 +1,82 @@
+// Package benchguard enforces checked-in benchmark baselines: a guard test
+// reruns named benchmark functions via testing.Benchmark and fails when a
+// hot path regresses against its pinned ns/op or allocs/op. The root
+// package guards the end-to-end predict/simulate loops and internal
+// packages guard their own micro-benchmarks, all through this one
+// implementation so tolerances and re-baseline discipline stay uniform.
+package benchguard
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Baseline is one entry of a bench_baseline.json: a pinned ns/op and
+// allocs/op for a named benchmark. AllocsPerOp is exact (the Go allocator
+// is deterministic for these paths) so it gets no tolerance; ns/op gets
+// MaxRegressPct of headroom for machine noise.
+type Baseline struct {
+	Benchmark     string  `json:"benchmark"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	MaxRegressPct float64 `json:"max_regress_pct"`
+	Note          string  `json:"note"`
+}
+
+// Enforce reruns every baseline in the JSON file at path against registry
+// and fails t on time or allocation regressions. Adding a baseline entry
+// without registering its function is a test failure, not a silent skip.
+//
+// It only runs when BENCH_GUARD=1 is set (CI's benchmark-guard job); plain
+// `go test ./...` skips it to stay fast and to avoid flaking on loaded
+// machines. To re-baseline deliberately, follow DESIGN.md "Hot path".
+func Enforce(t *testing.T, path string, registry map[string]func(*testing.B)) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to enforce the benchmark baselines")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bases []Baseline
+	if err := json.Unmarshal(raw, &bases); err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) == 0 {
+		t.Fatal("empty baseline file")
+	}
+	for _, base := range bases {
+		base := base
+		t.Run(base.Benchmark, func(t *testing.T) {
+			fn := registry[base.Benchmark]
+			if fn == nil || base.NsPerOp <= 0 || base.MaxRegressPct <= 0 || base.AllocsPerOp < 0 {
+				t.Fatalf("malformed or unregistered baseline: %+v", base)
+			}
+			// Best of three: guards against a background-noise spike failing
+			// CI while still catching genuine slowdowns. Allocation counts
+			// are noise-free, so the minimum is simply the true value.
+			bestNs, bestAllocs := 0.0, int64(-1)
+			for i := 0; i < 3; i++ {
+				r := testing.Benchmark(fn)
+				if ns := float64(r.NsPerOp()); bestNs == 0 || ns < bestNs {
+					bestNs = ns
+				}
+				if a := r.AllocsPerOp(); bestAllocs < 0 || a < bestAllocs {
+					bestAllocs = a
+				}
+			}
+			limit := base.NsPerOp * (1 + base.MaxRegressPct/100)
+			t.Logf("%s: best %.0f ns/op (baseline %.0f, limit %.0f), %d allocs/op (baseline %d)",
+				base.Benchmark, bestNs, base.NsPerOp, limit, bestAllocs, base.AllocsPerOp)
+			if bestNs > limit {
+				t.Errorf("%s regressed: %.0f ns/op exceeds baseline %.0f +%g%% (limit %.0f)",
+					base.Benchmark, bestNs, base.NsPerOp, base.MaxRegressPct, limit)
+			}
+			if bestAllocs > base.AllocsPerOp {
+				t.Errorf("%s regressed: %d allocs/op exceeds baseline %d",
+					base.Benchmark, bestAllocs, base.AllocsPerOp)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package cir
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -13,6 +15,16 @@ import (
 // unknown opcodes, wrong arg counts, out-of-range registers or targets — are
 // rejected at compile time instead of mid-run.
 //
+// On top of the per-instruction chains, a peephole pass (fuse.go) fuses
+// adjacent instruction pairs — const+binop, load+op, and a block-ending
+// compare feeding its own branch — into single superinstruction closures.
+// Fused closures charge exactly the steps their constituents would and
+// re-check the step budget at every original instruction boundary, so
+// mid-budget trips, error text and vcall traces stay byte-identical to the
+// interpreter. Fusion only ever pairs instructions inside one basic block;
+// jump targets are block heads, so no control flow can enter the middle of a
+// fused pair. CompileOpts.DisableFusion is the escape hatch.
+//
 // The interpreter (interp.go) remains the reference implementation.
 // Compiled.Run replicates Interp.Run exactly: same register/scratch zeroing,
 // same step accounting (block entries and instructions each cost one step,
@@ -24,36 +36,58 @@ import (
 // state is the mutable execution context threaded through instruction
 // closures. One state is embedded in each Compiled and reused across Runs,
 // so steady-state execution performs no heap allocations (the same contract
-// Interp documents).
+// Interp documents). steps/maxSteps live here (not in the driver loop) so
+// fused superinstructions can charge and re-check the budget at interior
+// instruction boundaries.
 type state struct {
 	regs    []uint64
 	scratch []byte
 	// argbuf is the reusable vcall argument scratch, sized at Compile to the
 	// program's widest vcall; Env implementations must not retain it.
-	argbuf []uint64
-	env    Env
+	argbuf   []uint64
+	env      Env
+	steps    int
+	maxSteps int
 }
 
-// instrFn executes one compiled instruction against the state. A non-nil
-// error is a runtime fault (division by zero, scratch bounds, vcall failure);
-// the driver wraps it with the instruction's precomputed location prefix.
+// instrFn executes one compiled instruction (or fused pair) against the
+// state. A non-nil error is either errStepTrip — the budget expired at an
+// interior boundary of a fused pair — or a runtime fault (division by zero,
+// scratch bounds, vcall failure) already wrapped with the instruction's
+// pre-rendered location prefix.
 type instrFn func(*state) error
 
-// cblock is one compiled basic block: the closure chain, the source
+// errStepTrip is the internal signal a fused closure raises when the step
+// budget expires between its two halves. The driver converts it to the exact
+// instruction-trip error the interpreter would have produced at that point;
+// it never escapes Run.
+var errStepTrip = errors.New("cir: internal step trip")
+
+// cblock is one compiled basic block: the per-instruction closure chain
+// (code, used by the hooked paths, which need instruction granularity), the
+// fused superinstruction chain (fcode, used by the fast path), the source
 // instructions (for hooks, which receive the same *Instr pointers the
-// interpreter would pass), precomputed fault prefixes, and the terminator
-// flattened into direct fields.
+// interpreter would pass), and the terminator flattened into direct fields.
+// When the peephole fused the block's trailing compare into its branch, cmp
+// holds the comparison kind and fcode excludes that compare; the hooked
+// paths ignore cmp and run the full code chain.
 type cblock struct {
-	code []instrFn
-	meta []*Instr
-	// fail[i] is "cir: block %d %q" pre-rendered for instruction i, so a
-	// faulting packet pays one fmt.Errorf, not two.
-	fail []string
-	kind TermKind
-	cond Reg // TermBranch condition register
-	then int // TermJump/TermBranch target
-	els  int // TermBranch fallthrough
-	ret  Reg // TermReturn verdict register (NoReg → VerdictPass)
+	code  []instrFn
+	fcode []instrFn
+	meta  []*Instr
+	kind  TermKind
+	cond  Reg // TermBranch condition register
+	then  int // TermJump/TermBranch target
+	els   int // TermBranch fallthrough
+	ret   Reg // TermReturn verdict register (NoReg → VerdictPass)
+
+	// Fused compare+branch terminator (fast path only): cmpNone when the
+	// branch is not fused, else the block's last instruction was
+	// "cmpDst = cmpA0 <cmp> cmpA1" with cmpDst == cond, evaluated (and still
+	// written, and still charged one step) by the terminator itself.
+	cmp          cmpKind
+	cmpDst       Reg
+	cmpA0, cmpA1 Reg
 }
 
 // Compiled is a program translated into closure chains. Like Interp it is
@@ -63,15 +97,31 @@ type Compiled struct {
 	prog   *Program
 	blocks []cblock
 	st     state
+	fused  int
 }
 
-// Compile translates p into a Compiled engine. It validates what execution
-// depends on — opcode known, arity correct, registers and branch targets in
-// range — and fails fast on violations, so Run never encounters a malformed
-// instruction. Compile does not replace Verify (which additionally checks
-// vcall catalogs, state references and reachability); it refuses exactly the
-// programs it could not execute faithfully.
+// CompileOpts tunes Compile. The zero value is the production default:
+// superinstruction fusion on.
+type CompileOpts struct {
+	// DisableFusion switches off the superinstruction peephole, leaving one
+	// closure per instruction on the fast path too. The escape hatch if a
+	// fusion divergence ever ships, and the CI fusion guard's baseline arm.
+	DisableFusion bool
+}
+
+// Compile translates p into a Compiled engine with default options (fusion
+// enabled). It validates what execution depends on — opcode known, arity
+// correct, registers and branch targets in range — and fails fast on
+// violations, so Run never encounters a malformed instruction. Compile does
+// not replace Verify (which additionally checks vcall catalogs, state
+// references and reachability); it refuses exactly the programs it could not
+// execute faithfully.
 func Compile(p *Program) (*Compiled, error) {
+	return CompileWith(p, CompileOpts{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(p *Program, opts CompileOpts) (*Compiled, error) {
 	if len(p.Blocks) == 0 {
 		return nil, fmt.Errorf("cir: compile %s: program has no blocks", p.Name)
 	}
@@ -85,7 +135,7 @@ func Compile(p *Program) (*Compiled, error) {
 		cb := &c.blocks[bi]
 		cb.code = make([]instrFn, len(blk.Instrs))
 		cb.meta = make([]*Instr, len(blk.Instrs))
-		cb.fail = make([]string, len(blk.Instrs))
+		fails := make([]string, len(blk.Instrs))
 		for ii := range blk.Instrs {
 			in := &blk.Instrs[ii]
 			where := fmt.Sprintf("block %d instr %d (%s)", bi, ii, in)
@@ -95,7 +145,11 @@ func Compile(p *Program) (*Compiled, error) {
 			if err := checkCompileRegs(p, in, where); err != nil {
 				return nil, err
 			}
-			fn, err := compileInstr(in, where)
+			// fails[ii] is "cir: block %d %q" pre-rendered, so a faulting
+			// packet pays one fmt.Errorf, not two; fallible closures capture
+			// it and wrap their own errors.
+			fails[ii] = fmt.Sprintf("cir: block %d %q", bi, in.String())
+			fn, err := compileInstr(in, where, fails[ii])
 			if err != nil {
 				return nil, err
 			}
@@ -104,10 +158,14 @@ func Compile(p *Program) (*Compiled, error) {
 			}
 			cb.code[ii] = fn
 			cb.meta[ii] = in
-			cb.fail[ii] = fmt.Sprintf("cir: block %d %q", bi, in.String())
 		}
 		if err := compileTerm(p, bi, cb); err != nil {
 			return nil, err
+		}
+		if opts.DisableFusion {
+			cb.fcode = cb.code
+		} else {
+			c.fused += fuseBlock(blk, cb, fails)
 		}
 	}
 	c.st = state{
@@ -117,6 +175,12 @@ func Compile(p *Program) (*Compiled, error) {
 	}
 	return c, nil
 }
+
+// FusedCount reports how many superinstructions the peephole formed (pair
+// fusions plus compare+branch terminator fusions) — zero when compiled with
+// DisableFusion. Tests and the CI fusion guard use it to assert the pass
+// actually fired.
+func (c *Compiled) FusedCount() int { return c.fused }
 
 // checkCompileRegs rejects instructions whose registers the engine could not
 // address: Dst outside the register file (NoReg is fine — "no destination"),
@@ -187,10 +251,13 @@ func fDiv(a, b uint64) uint64 {
 // identical because such instructions cannot fault).
 func nopFn(*state) error { return nil }
 
-// compileInstr builds the specialized closure for one instruction. Every
-// opcode in the Op enum must have a case here; TestCompiledOps walks opNames
-// to ensure a new opcode cannot land without one.
-func compileInstr(in *Instr, where string) (instrFn, error) {
+// compileInstr builds the specialized closure for one instruction. fail is
+// the pre-rendered "cir: block %d %q" location prefix; closures that can
+// fault capture it and wrap their own errors, so the drivers return closure
+// errors as-is. Every opcode in the Op enum must have a case here;
+// TestCompiledOps walks opNames to ensure a new opcode cannot land without
+// one.
+func compileInstr(in *Instr, where, fail string) (instrFn, error) {
 	d := in.Dst
 	// bin specializes the pure two-operand ops: with a real destination the
 	// closure captures three register indices and the op body; with NoReg it
@@ -237,7 +304,7 @@ func compileInstr(in *Instr, where string) (instrFn, error) {
 		return func(st *state) error {
 			b := st.regs[a1]
 			if b == 0 {
-				return ErrDivByZero
+				return fmt.Errorf("%s: %w", fail, ErrDivByZero)
 			}
 			if d != NoReg {
 				st.regs[d] = st.regs[a0] / b
@@ -249,7 +316,7 @@ func compileInstr(in *Instr, where string) (instrFn, error) {
 		return func(st *state) error {
 			b := st.regs[a1]
 			if b == 0 {
-				return ErrModByZero
+				return fmt.Errorf("%s: %w", fail, ErrModByZero)
 			}
 			if d != NoReg {
 				st.regs[d] = st.regs[a0] % b
@@ -298,7 +365,7 @@ func compileInstr(in *Instr, where string) (instrFn, error) {
 		return func(st *state) error {
 			v, err := loadScratch(st.scratch, st.regs[a0], size)
 			if err != nil {
-				return err
+				return fmt.Errorf("%s: %w", fail, err)
 			}
 			if d != NoReg {
 				st.regs[d] = v
@@ -308,7 +375,10 @@ func compileInstr(in *Instr, where string) (instrFn, error) {
 	case OpStore:
 		a0, a1, size := in.Args[0], in.Args[1], in.Size
 		return func(st *state) error {
-			return storeScratch(st.scratch, st.regs[a0], st.regs[a1], size)
+			if err := storeScratch(st.scratch, st.regs[a0], st.regs[a1], size); err != nil {
+				return fmt.Errorf("%s: %w", fail, err)
+			}
+			return nil
 		}, nil
 	case OpVCall:
 		// The closure captures the instruction pointer: env.VCall receives
@@ -322,7 +392,7 @@ func compileInstr(in *Instr, where string) (instrFn, error) {
 			}
 			v, err := st.env.VCall(in, buf)
 			if err != nil {
-				return err
+				return fmt.Errorf("%s: %w", fail, err)
 			}
 			if d != NoReg {
 				st.regs[d] = v
@@ -341,8 +411,9 @@ func (c *Compiled) Reg(r Reg) uint64 { return c.st.regs[r] }
 // Run executes the compiled program for one packet and returns the verdict.
 // It mirrors Interp.Run clause for clause: registers and scratch are
 // re-zeroed, MaxSteps defaults to one million, and the hook-free case takes
-// a specialized loop while any observation (OnInstr/OnBlock/Ctx) engages the
-// hooked loop with identical step accounting.
+// the fused fast loop while any observation (OnInstr/OnBlock/Ctx) engages a
+// hooked loop — specialized per hook shape, since the nil checks are
+// loop-invariant — with identical step accounting and hook event ordering.
 func (c *Compiled) Run(env Env, h *Hooks) (uint64, error) {
 	st := &c.st
 	for i := range st.regs {
@@ -359,28 +430,134 @@ func (c *Compiled) Run(env Env, h *Hooks) (uint64, error) {
 	if h == nil || (h.OnInstr == nil && h.OnBlock == nil && h.Ctx == nil) {
 		return c.runFast(maxSteps)
 	}
+	if h.OnBlock == nil && h.OnInstr != nil {
+		// The simulator's exact shape (per-instruction pricing plus a
+		// cancellation context, no block hook) gets its own loop; so does
+		// the context-free OnInstr case profilers use.
+		if h.Ctx != nil {
+			return c.runHookedInstrCtx(h.OnInstr, h.Ctx, maxSteps)
+		}
+		return c.runHookedInstr(h.OnInstr, maxSteps)
+	}
 	return c.runHooked(h, maxSteps)
 }
 
-// runFast is the hook-free closure-chain loop; semantics and step accounting
-// match Interp.runFast exactly.
+// blockTrip and instrTrip render the two step-limit error texts; both match
+// the interpreter's byte for byte.
+func (c *Compiled) blockTrip(maxSteps int) error {
+	return fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+}
+
+func (c *Compiled) instrTrip(maxSteps int) error {
+	return fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+}
+
+func (c *Compiled) interrupted(err error) error {
+	return fmt.Errorf("cir: %s interrupted: %w", c.prog.Name, err)
+}
+
+// runFast is the hook-free closure-chain loop over the fused chains;
+// semantics and step accounting match Interp.runFast exactly. The loop
+// charges one step per fcode entry (the first instruction of a fused pair);
+// fused closures charge and re-check the budget for their interior
+// instructions through st.steps, raising errStepTrip — converted here to the
+// interpreter's exact instruction-trip error — when it expires between
+// halves.
 func (c *Compiled) runFast(maxSteps int) (uint64, error) {
+	st := &c.st
+	st.steps = 0
+	st.maxSteps = maxSteps
+	bi := 0
+	for {
+		st.steps++
+		if st.steps > maxSteps {
+			return 0, c.blockTrip(maxSteps)
+		}
+		blk := &c.blocks[bi]
+		for _, fn := range blk.fcode {
+			st.steps++
+			if st.steps > maxSteps {
+				return 0, c.instrTrip(maxSteps)
+			}
+			if err := fn(st); err != nil {
+				if err == errStepTrip {
+					return 0, c.instrTrip(maxSteps)
+				}
+				return 0, err
+			}
+		}
+		switch blk.kind {
+		case TermJump:
+			bi = blk.then
+		case TermBranch:
+			if blk.cmp != cmpNone {
+				// Fused compare+branch: the compare is still an instruction —
+				// it charges its step, may trip the budget, and writes its
+				// destination — but its result feeds the branch directly.
+				st.steps++
+				if st.steps > maxSteps {
+					return 0, c.instrTrip(maxSteps)
+				}
+				v := cmpEval(blk.cmp, st.regs[blk.cmpA0], st.regs[blk.cmpA1])
+				st.regs[blk.cmpDst] = v
+				if v != 0 {
+					bi = blk.then
+				} else {
+					bi = blk.els
+				}
+			} else if st.regs[blk.cond] != 0 {
+				bi = blk.then
+			} else {
+				bi = blk.els
+			}
+		case TermReturn:
+			if blk.ret == NoReg {
+				return VerdictPass, nil
+			}
+			return st.regs[blk.ret], nil
+		}
+	}
+}
+
+// runHooked is the fully general observed loop, running hooks and polling
+// the context exactly as Interp.runHooked does — block entries count one
+// step, each instruction counts one step, the limit is checked before
+// executing, and Ctx is polled every ctxPollMask+1 steps. It walks the
+// unfused per-instruction chain: hooks observe instruction granularity, so
+// fused superinstructions (and the fused compare+branch) never run here.
+func (c *Compiled) runHooked(h *Hooks, maxSteps int) (uint64, error) {
 	st := &c.st
 	steps := 0
 	bi := 0
 	for {
 		steps++
 		if steps > maxSteps {
-			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+			return 0, c.blockTrip(maxSteps)
+		}
+		if h.Ctx != nil && steps&ctxPollMask == 0 {
+			if err := h.Ctx.Err(); err != nil {
+				return 0, c.interrupted(err)
+			}
+		}
+		if h.OnBlock != nil {
+			h.OnBlock(bi)
 		}
 		blk := &c.blocks[bi]
 		for ii, fn := range blk.code {
 			steps++
 			if steps > maxSteps {
-				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+				return 0, c.instrTrip(maxSteps)
+			}
+			if h.Ctx != nil && steps&ctxPollMask == 0 {
+				if err := h.Ctx.Err(); err != nil {
+					return 0, c.interrupted(err)
+				}
+			}
+			if h.OnInstr != nil {
+				h.OnInstr(bi, blk.meta[ii])
 			}
 			if err := fn(st); err != nil {
-				return 0, fmt.Errorf("%s: %w", blk.fail[ii], err)
+				return 0, err
 			}
 		}
 		switch blk.kind {
@@ -401,43 +578,81 @@ func (c *Compiled) runFast(maxSteps int) (uint64, error) {
 	}
 }
 
-// runHooked is the observed closure-chain loop, running hooks and polling
-// the context exactly as Interp.runHooked does — block entries count one
-// step, each instruction counts one step, the limit is checked before
-// executing, and Ctx is polled every ctxPollMask+1 steps.
-func (c *Compiled) runHooked(h *Hooks, maxSteps int) (uint64, error) {
+// runHookedInstrCtx is runHooked specialized for the simulator's hook shape:
+// OnInstr set, OnBlock nil, Ctx set. The per-step OnBlock and Ctx nil checks
+// are loop-invariant, so they are resolved here once; step accounting, hook
+// event ordering and the ctxPollMask cadence are identical to runHooked.
+func (c *Compiled) runHookedInstrCtx(onInstr func(int, *Instr), ctx context.Context, maxSteps int) (uint64, error) {
 	st := &c.st
 	steps := 0
 	bi := 0
 	for {
 		steps++
 		if steps > maxSteps {
-			return 0, fmt.Errorf("%w (%d blocks/instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+			return 0, c.blockTrip(maxSteps)
 		}
-		if h.Ctx != nil && steps&ctxPollMask == 0 {
-			if err := h.Ctx.Err(); err != nil {
-				return 0, fmt.Errorf("cir: %s interrupted: %w", c.prog.Name, err)
+		if steps&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, c.interrupted(err)
 			}
 		}
-		if h.OnBlock != nil {
-			h.OnBlock(bi)
-		}
 		blk := &c.blocks[bi]
+		meta := blk.meta
 		for ii, fn := range blk.code {
 			steps++
 			if steps > maxSteps {
-				return 0, fmt.Errorf("%w (%d instructions) in %s", ErrStepLimit, maxSteps, c.prog.Name)
+				return 0, c.instrTrip(maxSteps)
 			}
-			if h.Ctx != nil && steps&ctxPollMask == 0 {
-				if err := h.Ctx.Err(); err != nil {
-					return 0, fmt.Errorf("cir: %s interrupted: %w", c.prog.Name, err)
+			if steps&ctxPollMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, c.interrupted(err)
 				}
 			}
-			if h.OnInstr != nil {
-				h.OnInstr(bi, blk.meta[ii])
-			}
+			onInstr(bi, meta[ii])
 			if err := fn(st); err != nil {
-				return 0, fmt.Errorf("%s: %w", blk.fail[ii], err)
+				return 0, err
+			}
+		}
+		switch blk.kind {
+		case TermJump:
+			bi = blk.then
+		case TermBranch:
+			if st.regs[blk.cond] != 0 {
+				bi = blk.then
+			} else {
+				bi = blk.els
+			}
+		case TermReturn:
+			if blk.ret == NoReg {
+				return VerdictPass, nil
+			}
+			return st.regs[blk.ret], nil
+		}
+	}
+}
+
+// runHookedInstr is runHooked specialized for OnInstr set, OnBlock nil,
+// Ctx nil: no cancellation polls at all (matching the generic loop's
+// behavior when Ctx is nil), no per-step hook nil checks.
+func (c *Compiled) runHookedInstr(onInstr func(int, *Instr), maxSteps int) (uint64, error) {
+	st := &c.st
+	steps := 0
+	bi := 0
+	for {
+		steps++
+		if steps > maxSteps {
+			return 0, c.blockTrip(maxSteps)
+		}
+		blk := &c.blocks[bi]
+		meta := blk.meta
+		for ii, fn := range blk.code {
+			steps++
+			if steps > maxSteps {
+				return 0, c.instrTrip(maxSteps)
+			}
+			onInstr(bi, meta[ii])
+			if err := fn(st); err != nil {
+				return 0, err
 			}
 		}
 		switch blk.kind {

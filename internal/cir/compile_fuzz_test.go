@@ -130,10 +130,22 @@ type fuzzOutcome struct {
 	blocks  int
 }
 
+// Hook shapes exercised by the fuzz harness. Beyond fast and the fully
+// hooked loop, the two specialized hooked paths (OnInstr+Ctx — the
+// simulator's shape — and OnInstr alone) get their own arms, since each is a
+// distinct loop in the compiled engine.
+const (
+	fuzzFast = iota
+	fuzzHookedFull
+	fuzzHookedInstrCtx
+	fuzzHookedInstr
+)
+
 // FuzzCompiledVsInterp is the differential battery's randomized arm: any
 // program the builder can express must produce identical (verdict, error
-// string, vcall trace, step count) tuples from the interpreter and the
-// compiled engine, on both the fast and the hooked paths.
+// string, vcall trace, step count) tuples from the interpreter, the fused
+// compiled engine, and the fusion-disabled compiled engine, across the fast
+// path and every hooked-loop specialization.
 func FuzzCompiledVsInterp(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
@@ -144,6 +156,23 @@ func FuzzCompiledVsInterp(f *testing.F) {
 		long[i] = byte(i*37 + 11)
 	}
 	f.Add(long)
+	// Fusion-adversarial seeds (byte streams decoded by genFuzzProgram):
+	// a fusable const+binop pair split across a block boundary — the const
+	// ends block 0, the binop opens block 1, so the peephole must NOT fuse
+	// across the jump.
+	f.Add([]byte{1, 1, 7, 3, 1, 1, 0, 9, 0, 0, 1, 1, 1, 0, 0, 1, 2, 0, 255, 255})
+	// A const+binop fused pair in one block with maxSteps=5: block entry (1)
+	// plus four consts (5) exhaust the budget exactly between the two halves
+	// of the fused const+add closure.
+	f.Add([]byte{1, 0, 7, 3, 1, 2, 0, 5, 0, 1, 0, 0, 1, 4, 0, 4})
+	// A single-block loop ending in compare+branch back to its own head with
+	// a tiny budget: the fused compare terminator re-executes every
+	// iteration and the trip lands either at a block entry or mid-compare.
+	f.Add([]byte{1, 0, 7, 3, 0, 1, 1, 10, 0, 2, 1, 3, 0, 0, 0, 9})
+	// A load+binop pair whose load faults (address 7 + 8-byte width against
+	// 8 scratch bytes): the fused closure's first half must report the
+	// load's own wrapped bounds error.
+	f.Add([]byte{1, 0, 7, 3, 1, 2, 4, 0, 3, 1, 0, 0, 1, 4, 255, 255})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog, maxSteps := genFuzzProgram(data)
@@ -156,16 +185,26 @@ func FuzzCompiledVsInterp(f *testing.F) {
 			// executable programs, so rejection here is an engine bug.
 			t.Fatalf("verified program failed to compile: %v\n%s", err, prog)
 		}
+		unfused, err := CompileWith(prog, CompileOpts{DisableFusion: true})
+		if err != nil {
+			t.Fatalf("program compiled fused but not unfused: %v\n%s", err, prog)
+		}
 		it := NewInterp(prog)
 
-		run := func(engine func(Env, *Hooks) (uint64, error), hooked bool) fuzzOutcome {
+		run := func(engine func(Env, *Hooks) (uint64, error), shape int) fuzzOutcome {
 			env := &recordingEnv{}
 			var o fuzzOutcome
 			h := &Hooks{MaxSteps: maxSteps}
-			if hooked {
+			switch shape {
+			case fuzzHookedFull:
 				h.OnInstr = func(int, *Instr) { o.instrs++ }
 				h.OnBlock = func(int) { o.blocks++ }
 				h.Ctx = context.Background()
+			case fuzzHookedInstrCtx:
+				h.OnInstr = func(int, *Instr) { o.instrs++ }
+				h.Ctx = context.Background()
+			case fuzzHookedInstr:
+				h.OnInstr = func(int, *Instr) { o.instrs++ }
 			}
 			v, err := engine(env, h)
 			o.v = v
@@ -197,13 +236,18 @@ func FuzzCompiledVsInterp(f *testing.F) {
 			}
 		}
 
-		iFast := run(it.Run, false)
-		cFast := run(comp.Run, false)
+		iFast := run(it.Run, fuzzFast)
+		cFast := run(comp.Run, fuzzFast)
 		diff("fast", iFast, cFast)
+		diff("fast-unfused", iFast, run(unfused.Run, fuzzFast))
 
-		iHook := run(it.Run, true)
-		cHook := run(comp.Run, true)
+		iHook := run(it.Run, fuzzHookedFull)
+		cHook := run(comp.Run, fuzzHookedFull)
 		diff("hooked", iHook, cHook)
+		diff("hooked-unfused", iHook, run(unfused.Run, fuzzHookedFull))
+
+		diff("hooked-instr-ctx", run(it.Run, fuzzHookedInstrCtx), run(comp.Run, fuzzHookedInstrCtx))
+		diff("hooked-instr", run(it.Run, fuzzHookedInstr), run(comp.Run, fuzzHookedInstr))
 
 		// Each engine's fast and hooked paths must also agree with each other
 		// (cancellation polling aside, hooks must not perturb execution).

@@ -1,0 +1,219 @@
+package cir
+
+import "fmt"
+
+// Superinstruction fusion: a peephole pass over each compiled basic block
+// that collapses adjacent instruction pairs into single closures, halving
+// dispatch overhead (one indirect call, one loop iteration, one error check)
+// for the fused pair. Three patterns fuse:
+//
+//   - const+binop: "rA = imm" followed by any infallible two-operand op
+//     (the op need not read rA — adjacency, not dataflow, is the criterion).
+//   - load+op: a scratch load followed by an infallible two-operand op.
+//   - compare+branch: a block-ending compare whose destination is the
+//     branch condition is folded into the terminator itself.
+//
+// Fusion never changes observable behavior. Each fused closure charges
+// exactly the steps its constituents would — the driver loop charges the
+// first instruction's step as usual, and the closure charges and re-checks
+// the budget (st.steps/st.maxSteps) at the interior boundary before running
+// the second half, raising errStepTrip so a mid-pair budget expiry yields
+// the interpreter's exact instruction-trip error. Faults in either half
+// carry that half's own pre-rendered location prefix. Fusion is safe only
+// because jump targets are block heads: control flow cannot enter the middle
+// of a fused pair. Second halves evaluate through binEval's dense switch
+// rather than per-op closure factories, keeping code size flat; the ops
+// allowed as second halves (pureBinOp) exclude Div/Mod, whose faults would
+// need the second half's own error wrapping.
+//
+// CompileOpts.DisableFusion bypasses this pass entirely (fcode aliases
+// code, no terminator fusion); FuzzCompiledVsInterp diffs fused against
+// unfused against the interpreter on every input.
+
+// cmpKind identifies a comparison op folded into a branch terminator.
+type cmpKind uint8
+
+const (
+	cmpNone cmpKind = iota
+	cmpEq
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+)
+
+// cmpKindOf maps a comparison opcode to its fused-branch kind, cmpNone for
+// anything else.
+func cmpKindOf(op Op) cmpKind {
+	switch op {
+	case OpEq:
+		return cmpEq
+	case OpNe:
+		return cmpNe
+	case OpLt:
+		return cmpLt
+	case OpLe:
+		return cmpLe
+	case OpGt:
+		return cmpGt
+	case OpGe:
+		return cmpGe
+	}
+	return cmpNone
+}
+
+// cmpEval evaluates a fused comparison; k must not be cmpNone.
+func cmpEval(k cmpKind, a, b uint64) uint64 {
+	switch k {
+	case cmpEq:
+		return b2u(a == b)
+	case cmpNe:
+		return b2u(a != b)
+	case cmpLt:
+		return b2u(a < b)
+	case cmpLe:
+		return b2u(a <= b)
+	case cmpGt:
+		return b2u(a > b)
+	case cmpGe:
+		return b2u(a >= b)
+	}
+	return 0
+}
+
+// pureBinOp reports whether op is an infallible two-operand register op —
+// eligible to be the second half of a fused pair (no error path to wrap, no
+// Imm/Size operand to capture).
+func pureBinOp(op Op) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpFAdd, OpFMul, OpFDiv:
+		return true
+	}
+	return false
+}
+
+// binEval evaluates one pureBinOp with the same semantics as the
+// per-instruction closures (shift counts masked to 63, floats on bit
+// patterns). A dense switch shared by every fused closure: one direct call
+// instead of one closure allocation per fused site per op.
+func binEval(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpEq:
+		return b2u(a == b)
+	case OpNe:
+		return b2u(a != b)
+	case OpLt:
+		return b2u(a < b)
+	case OpLe:
+		return b2u(a <= b)
+	case OpGt:
+		return b2u(a > b)
+	case OpGe:
+		return b2u(a >= b)
+	case OpFAdd:
+		return fAdd(a, b)
+	case OpFMul:
+		return fMul(a, b)
+	case OpFDiv:
+		return fDiv(a, b)
+	}
+	return 0
+}
+
+// fuseBlock runs the peephole over one compiled block, filling cb.fcode
+// (and the fused-branch fields when the terminator fuses) from the already
+// compiled cb.code. fails holds the per-instruction location prefixes, which
+// fused load closures capture for their fault path. Pairing is greedy and
+// left to right; pairs never overlap. Returns the number of fusions formed.
+func fuseBlock(blk *Block, cb *cblock, fails []string) int {
+	fused := 0
+	n := len(blk.Instrs)
+	// Compare+branch: only when the block's last instruction is a compare
+	// writing a real register that is exactly the branch condition. The
+	// fused terminator still writes the register (later blocks may read it)
+	// and still charges the compare's step.
+	if cb.kind == TermBranch && n > 0 {
+		last := &blk.Instrs[n-1]
+		if k := cmpKindOf(last.Op); k != cmpNone && last.Dst != NoReg && last.Dst == cb.cond {
+			cb.cmp = k
+			cb.cmpDst = last.Dst
+			cb.cmpA0, cb.cmpA1 = last.Args[0], last.Args[1]
+			n--
+			fused++
+		}
+	}
+	fcode := make([]instrFn, 0, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			if fn := fusePair(&blk.Instrs[i], &blk.Instrs[i+1], fails[i]); fn != nil {
+				fcode = append(fcode, fn)
+				fused++
+				i++
+				continue
+			}
+		}
+		fcode = append(fcode, cb.code[i])
+	}
+	cb.fcode = fcode
+	return fused
+}
+
+// fusePair builds a superinstruction closure for instructions a then b, or
+// returns nil when the pair does not match a fusion template. failA is a's
+// pre-rendered fault prefix (only loads can fault; b is restricted to
+// infallible ops).
+func fusePair(a, b *Instr, failA string) instrFn {
+	if b.Dst == NoReg || !pureBinOp(b.Op) {
+		return nil
+	}
+	op, d2, b0, b1 := b.Op, b.Dst, b.Args[0], b.Args[1]
+	switch {
+	case a.Op == OpConst && a.Dst != NoReg:
+		d1, imm := a.Dst, a.Imm
+		return func(st *state) error {
+			st.regs[d1] = imm
+			st.steps++
+			if st.steps > st.maxSteps {
+				return errStepTrip
+			}
+			st.regs[d2] = binEval(op, st.regs[b0], st.regs[b1])
+			return nil
+		}
+	case a.Op == OpLoad:
+		d1, la, size, fail := a.Dst, a.Args[0], a.Size, failA
+		return func(st *state) error {
+			v, err := loadScratch(st.scratch, st.regs[la], size)
+			if err != nil {
+				return fmt.Errorf("%s: %w", fail, err)
+			}
+			if d1 != NoReg {
+				st.regs[d1] = v
+			}
+			st.steps++
+			if st.steps > st.maxSteps {
+				return errStepTrip
+			}
+			st.regs[d2] = binEval(op, st.regs[b0], st.regs[b1])
+			return nil
+		}
+	}
+	return nil
+}

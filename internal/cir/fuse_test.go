@@ -1,0 +1,352 @@
+package cir
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// fuseDiff runs prog through the interpreter and both compiled variants
+// (fused and fusion-disabled) under the given step budget and fails on any
+// divergence in (verdict, error text, vcall trace).
+func fuseDiff(t *testing.T, prog *Program, maxSteps int) (uint64, string) {
+	t.Helper()
+	type out struct {
+		v     uint64
+		err   string
+		calls []string
+	}
+	runOne := func(engine func(Env, *Hooks) (uint64, error)) out {
+		env := &recordingEnv{}
+		v, err := engine(env, &Hooks{MaxSteps: maxSteps})
+		o := out{v: v, calls: env.calls}
+		if err != nil {
+			o.err = err.Error()
+		}
+		return o
+	}
+	it := NewInterp(prog)
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	unfused, err := CompileWith(prog, CompileOpts{DisableFusion: true})
+	if err != nil {
+		t.Fatalf("CompileWith(DisableFusion): %v", err)
+	}
+	if unfused.FusedCount() != 0 {
+		t.Fatalf("DisableFusion engine reports %d fusions", unfused.FusedCount())
+	}
+	ref := runOne(it.Run)
+	for arm, o := range map[string]out{"fused": runOne(comp.Run), "unfused": runOne(unfused.Run)} {
+		if o.err != ref.err || (ref.err == "" && o.v != ref.v) || fmt.Sprint(o.calls) != fmt.Sprint(ref.calls) {
+			t.Fatalf("%s diverged from interp:\n  interp: v=%d err=%q calls=%v\n  %s: v=%d err=%q calls=%v\n%s",
+				arm, ref.v, ref.err, ref.calls, arm, o.v, o.err, o.calls, prog)
+		}
+	}
+	return ref.v, ref.err
+}
+
+// TestFusionTemplates pins which shapes the peephole fuses and which it must
+// leave alone.
+func TestFusionTemplates(t *testing.T) {
+	cases := []struct {
+		name  string
+		prog  *Program
+		fused int
+	}{
+		{
+			// const feeding an add: the canonical const+binop pair.
+			name: "const+binop",
+			prog: &Program{Name: "f", NumRegs: 3, Blocks: []Block{{
+				Instrs: []Instr{
+					{Op: OpConst, Dst: 0, Imm: 7},
+					{Op: OpConst, Dst: 1, Imm: 35},
+					{Op: OpAdd, Dst: 2, Args: []Reg{0, 1}},
+				},
+				Term: Terminator{Kind: TermReturn, Ret: 2},
+			}}},
+			fused: 1,
+		},
+		{
+			// load+op fuses; the pair need not be dataflow-connected.
+			name: "load+op",
+			prog: &Program{Name: "f", NumRegs: 3, ScratchBytes: 16, Blocks: []Block{{
+				Instrs: []Instr{
+					{Op: OpConst, Dst: 0, Imm: 4},
+					{Op: OpLoad, Dst: 1, Args: []Reg{0}, Size: 8},
+					{Op: OpXor, Dst: 2, Args: []Reg{0, 0}},
+				},
+				Term: Terminator{Kind: TermReturn, Ret: 2},
+			}}},
+			fused: 1,
+		},
+		{
+			// Block-ending compare whose Dst is the branch condition.
+			name: "compare+branch",
+			prog: &Program{Name: "f", NumRegs: 2, Blocks: []Block{
+				{
+					Instrs: []Instr{
+						{Op: OpConst, Dst: 0, Imm: 3},
+						{Op: OpConst, Dst: 1, Imm: 3},
+						{Op: OpEq, Dst: 0, Args: []Reg{0, 1}},
+					},
+					Term: Terminator{Kind: TermBranch, Cond: 0, Then: 1, Else: 2},
+				},
+				{Term: Terminator{Kind: TermReturn, Ret: 0}},
+				{Term: Terminator{Kind: TermReturn, Ret: 1}},
+			}},
+			// const+const does not pair, compare fuses into the branch.
+			fused: 1,
+		},
+		{
+			// Compare result parked in a different register than the branch
+			// condition: must NOT fuse the terminator.
+			name: "compare-not-cond",
+			prog: &Program{Name: "f", NumRegs: 3, Blocks: []Block{
+				{
+					Instrs: []Instr{
+						{Op: OpConst, Dst: 2, Imm: 1},
+						{Op: OpEq, Dst: 0, Args: []Reg{2, 2}},
+					},
+					Term: Terminator{Kind: TermBranch, Cond: 2, Then: 1, Else: 1},
+				},
+				{Term: Terminator{Kind: TermReturn, Ret: 0}},
+			}},
+			// ...but const+eq still fuses as a pair.
+			fused: 1,
+		},
+		{
+			// Div can fault, so it is never a fused second half.
+			name: "div-not-fused",
+			prog: &Program{Name: "f", NumRegs: 2, Blocks: []Block{{
+				Instrs: []Instr{
+					{Op: OpConst, Dst: 0, Imm: 8},
+					{Op: OpDiv, Dst: 1, Args: []Reg{0, 0}},
+				},
+				Term: Terminator{Kind: TermReturn, Ret: 1},
+			}}},
+			fused: 0,
+		},
+		{
+			// A NoReg-destination second half compiles to the shared no-op
+			// closure; fusing it would be wasted work, so it is skipped.
+			name: "noreg-second-half",
+			prog: &Program{Name: "f", NumRegs: 2, Blocks: []Block{{
+				Instrs: []Instr{
+					{Op: OpConst, Dst: 0, Imm: 8},
+					{Op: OpAdd, Dst: NoReg, Args: []Reg{0, 0}},
+				},
+				Term: Terminator{Kind: TermReturn, Ret: 0},
+			}}},
+			fused: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			comp, err := Compile(tc.prog)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if got := comp.FusedCount(); got != tc.fused {
+				t.Fatalf("FusedCount = %d, want %d", got, tc.fused)
+			}
+			fuseDiff(t, tc.prog, 1000)
+		})
+	}
+}
+
+// TestFusionMidPairStepTrip expires the budget exactly between the two
+// halves of a fused const+binop pair and checks all three engines agree on
+// the instruction-trip error, byte for byte.
+func TestFusionMidPairStepTrip(t *testing.T) {
+	prog := &Program{Name: "trip", NumRegs: 3, Blocks: []Block{{
+		Instrs: []Instr{
+			{Op: OpConst, Dst: 0, Imm: 7},          // step 2 (block entry is 1)
+			{Op: OpConst, Dst: 1, Imm: 35},         // step 3: fused head
+			{Op: OpAdd, Dst: 2, Args: []Reg{0, 1}}, // step 4: fused tail
+		},
+		Term: Terminator{Kind: TermReturn, Ret: 2},
+	}}}
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if comp.FusedCount() != 1 {
+		t.Fatalf("FusedCount = %d, want 1", comp.FusedCount())
+	}
+	// maxSteps=3 admits the fused head but not its tail.
+	_, errText := fuseDiff(t, prog, 3)
+	want := "cir: step limit exceeded (3 instructions) in trip"
+	if errText != want {
+		t.Fatalf("mid-pair trip error = %q, want %q", errText, want)
+	}
+	// One step more and the whole pair completes.
+	if v, errText := fuseDiff(t, prog, 4); errText != "" || v != 42 {
+		t.Fatalf("post-pair run = (%d, %q), want (42, \"\")", v, errText)
+	}
+}
+
+// TestFusionLoadFault faults the first half of a fused load+op pair and
+// checks the wrapped bounds error is identical across engines.
+func TestFusionLoadFault(t *testing.T) {
+	prog := &Program{Name: "oob", NumRegs: 3, ScratchBytes: 8, Blocks: []Block{{
+		Instrs: []Instr{
+			{Op: OpConst, Dst: 0, Imm: 7},
+			{Op: OpLoad, Dst: 1, Args: []Reg{0}, Size: 8}, // 7+8 > 8: faults
+			{Op: OpAdd, Dst: 2, Args: []Reg{1, 1}},
+		},
+		Term: Terminator{Kind: TermReturn, Ret: 2},
+	}}}
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if comp.FusedCount() != 1 {
+		t.Fatalf("FusedCount = %d, want 1", comp.FusedCount())
+	}
+	_, errText := fuseDiff(t, prog, 1000)
+	if errText == "" {
+		t.Fatal("expected a bounds fault")
+	}
+	want := `cir: block 0 "r1 = load r0 sz=8": scratch load out of bounds: addr=7 size=8 len=8`
+	if errText != want {
+		t.Fatalf("fused load fault = %q, want %q", errText, want)
+	}
+}
+
+// TestFusedBranchWritesRegister loops through a fused compare+branch whose
+// result register is read after the loop: the fused terminator must still
+// write it.
+func TestFusedBranchWritesRegister(t *testing.T) {
+	// r0 counts down from 5; block 1 returns the final compare result.
+	prog := &Program{Name: "loop", NumRegs: 3, Blocks: []Block{
+		{
+			Instrs: []Instr{
+				{Op: OpConst, Dst: 1, Imm: 1},
+				{Op: OpSub, Dst: 0, Args: []Reg{0, 1}},
+				{Op: OpConst, Dst: 2, Imm: ^uint64(0) - 2},
+				{Op: OpLt, Dst: 2, Args: []Reg{0, 2}},
+			},
+			Term: Terminator{Kind: TermBranch, Cond: 2, Then: 0, Else: 1},
+		},
+		{Term: Terminator{Kind: TermReturn, Ret: 2}},
+	}}
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// const+sub pair, const+lt pair... the lt is the branch condition, so
+	// the terminator takes it and the preceding const stays unfused (its
+	// neighbor was consumed).
+	if comp.FusedCount() != 2 {
+		t.Fatalf("FusedCount = %d, want 2", comp.FusedCount())
+	}
+	v, errText := fuseDiff(t, prog, 1_000_000)
+	if errText != "" || v != 0 {
+		t.Fatalf("loop run = (%d, %q), want (0, \"\")", v, errText)
+	}
+}
+
+// TestFusedBranchAllCompares drives every comparison kind through the fused
+// compare+branch terminator, on operand pairs covering both outcomes.
+func TestFusedBranchAllCompares(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	pairs := [][2]uint64{{3, 3}, {3, 9}, {9, 3}}
+	for _, op := range ops {
+		for _, ab := range pairs {
+			prog := &Program{Name: "cmp", NumRegs: 3, Blocks: []Block{
+				{
+					Instrs: []Instr{
+						{Op: OpConst, Dst: 0, Imm: ab[0]},
+						{Op: OpConst, Dst: 1, Imm: ab[1]},
+						{Op: op, Dst: 2, Args: []Reg{0, 1}},
+					},
+					Term: Terminator{Kind: TermBranch, Cond: 2, Then: 1, Else: 2},
+				},
+				{Term: Terminator{Kind: TermReturn, Ret: 0}},
+				{Term: Terminator{Kind: TermReturn, Ret: 1}},
+			}}
+			comp, err := Compile(prog)
+			if err != nil {
+				t.Fatalf("%s(%d,%d): Compile: %v", op, ab[0], ab[1], err)
+			}
+			if comp.FusedCount() != 1 {
+				t.Fatalf("%s(%d,%d): FusedCount = %d, want 1", op, ab[0], ab[1], comp.FusedCount())
+			}
+			fuseDiff(t, prog, 1000)
+		}
+	}
+}
+
+// TestFusionGuard is the CI tripwire (FUSION_GUARD=1): on the benchmark
+// program, the fused engine must never be slower than DisableFusion beyond
+// noise. Run by the bench-smoke job once per PR.
+func TestFusionGuard(t *testing.T) {
+	if os.Getenv("FUSION_GUARD") == "" {
+		t.Skip("set FUSION_GUARD=1 to compare fused vs DisableFusion timing")
+	}
+	fused := testing.Benchmark(BenchmarkCompiledFused)
+	unfused := testing.Benchmark(BenchmarkCompiledUnfused)
+	f, u := fused.NsPerOp(), unfused.NsPerOp()
+	t.Logf("fused %d ns/op, unfused %d ns/op (%.2fx)", f, u, float64(u)/float64(f))
+	// 10% cushion: the guard catches fusion becoming a real slowdown, not
+	// scheduler jitter.
+	if float64(f) > float64(u)*1.10 {
+		t.Fatalf("fusion is a slowdown: fused %d ns/op vs unfused %d ns/op", f, u)
+	}
+}
+
+// fusionBenchProg is a fusion-friendly compute kernel: a counted loop whose
+// body is const+binop and load+op pairs, ending in a fused compare+branch.
+func fusionBenchProg() *Program {
+	bld := NewBuilder("fusebench")
+	bld.AllocScratch(64)
+	body := bld.NewBlock("body")
+	done := bld.NewBlock("done")
+
+	acc := bld.Const(0)
+	i := bld.Const(0)
+	bld.Jump(body)
+
+	bld.SetBlock(body)
+	k := bld.Const(0x9E37)
+	x := bld.Bin(OpAdd, acc, k)
+	a := bld.Const(8)
+	v := bld.Load(a, 8)
+	y := bld.Bin(OpXor, x, v)
+	bld.CopyInto(acc, y)
+	one := bld.Const(1)
+	ni := bld.Bin(OpAdd, i, one)
+	bld.CopyInto(i, ni)
+	lim := bld.Const(256)
+	c := bld.Bin(OpLt, i, lim)
+	bld.Branch(c, body, done)
+
+	bld.SetBlock(done)
+	bld.Return(acc)
+	return bld.MustProgram()
+}
+
+func benchCompiledRun(b *testing.B, opts CompileOpts) {
+	prog := fusionBenchProg()
+	comp, err := CompileWith(prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &recordingEnv{}
+	h := &Hooks{MaxSteps: 1_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := comp.Run(env, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledFused and BenchmarkCompiledUnfused time the same kernel
+// with and without the superinstruction peephole; TestFusionGuard diffs
+// them in CI.
+func BenchmarkCompiledFused(b *testing.B)   { benchCompiledRun(b, CompileOpts{}) }
+func BenchmarkCompiledUnfused(b *testing.B) { benchCompiledRun(b, CompileOpts{DisableFusion: true}) }

@@ -221,6 +221,9 @@ func captureCounters(sim *Sim, sr *shardRun) {
 	sr.cacheHits = make(map[string]uint64, len(sim.caches))
 	sr.cacheTotal = make(map[string]uint64, len(sim.caches))
 	for id, c := range sim.caches {
+		if c == nil {
+			continue
+		}
 		name := sim.nic.Mems[id].Name
 		sr.cacheHits[name] = c.hits
 		sr.cacheTotal[name] = c.hits + c.misses
@@ -237,7 +240,7 @@ func captureCounters(sim *Sim, sr *shardRun) {
 // mutable arbitration state by design. A budget/cancel trip seals every
 // active tenant with the same typed error, each carrying that tenant's own
 // partial Result.
-func runColocWindow(ctx context.Context, cfg ColocConfig, active []int, shares []int, events []colocEvent, start, w int) []shardRun {
+func runColocWindow(ctx context.Context, cfg ColocConfig, active []int, shares []int, events []colocEvent, start, w int, pools []*simPool) []shardRun {
 	sruns := make([]shardRun, len(cfg.Tenants))
 	fail := func(err error) []shardRun {
 		for _, t := range active {
@@ -247,7 +250,13 @@ func runColocWindow(ctx context.Context, cfg ColocConfig, active []int, shares [
 	}
 	sims := make([]*Sim, len(cfg.Tenants))
 	for _, t := range active {
-		sim, err := NewContext(ctx, colocTenantConfig(cfg, w, t))
+		// One pool per tenant: a tenant's windows share program, placement
+		// and address base, which is exactly the pool's reset contract.
+		var pool *simPool
+		if pools != nil {
+			pool = pools[t]
+		}
+		sim, err := pool.get(ctx, colocTenantConfig(cfg, w, t))
 		if err != nil {
 			return fail(err)
 		}
@@ -288,6 +297,11 @@ func runColocWindow(ctx context.Context, cfg ColocConfig, active []int, shares [
 		}
 		captureCounters(sims[t], &sr)
 		sruns[t] = sr
+	}
+	if pools != nil {
+		for _, t := range active {
+			pools[t].put(sims[t])
+		}
 	}
 	return sruns
 }
@@ -370,6 +384,10 @@ func RunColocatedContext(ctx context.Context, cfg ColocConfig, opts ShardOpts) (
 			dispatch = windows
 		}
 	}
+	pools := make([]*simPool, len(cfg.Tenants))
+	for _, t := range active {
+		pools[t] = &simPool{}
+	}
 	runs, _ := runner.Map(ctx, opts.Workers, dispatch,
 		func(cctx context.Context, w int) ([]shardRun, error) {
 			lo := w * window
@@ -377,7 +395,7 @@ func RunColocatedContext(ctx context.Context, cfg ColocConfig, opts ShardOpts) (
 			if hi > n {
 				hi = n
 			}
-			return runColocWindow(cctx, cfg, active, shares, events[lo:hi], lo, w), nil
+			return runColocWindow(cctx, cfg, active, shares, events[lo:hi], lo, w, pools), nil
 		})
 
 	// Merge each tenant's windows exactly like shards; the first erroring

@@ -10,8 +10,16 @@ import (
 // exec is the per-packet execution context: it implements cir.Env, charging
 // cycles to e.now as the interpreter walks the program.
 type exec struct {
-	s        *Sim
-	pkt      packet.Packet
+	s *Sim
+	// pkt points at the trace's shared decoded packet (read-only) until the
+	// NF writes a header field, when writeField copies it into pktCopy
+	// (copy-on-write): most NFs never write headers, and skipping the
+	// ~200-byte struct copy per packet is a measurable win. The corruption
+	// path decodes straight into pktCopy (owned from the start), since its
+	// wire bytes differ from the cached decode's.
+	pkt      *packet.Packet
+	pktCopy  packet.Packet
+	pktOwned bool
 	wire     []byte
 	pktIndex int
 
@@ -21,21 +29,62 @@ type exec struct {
 	steps   int64 // instructions executed (budget-usage accounting)
 
 	parsed   [8]bool // indexed by proto constant; charged once per packet
-	latched  map[string]*mapEntry
+	latched  []latchedEnt
 	lastLine int64 // last packet-memory line touched (streaming amortization)
 }
 
-// reset re-arms the exec for the next packet, keeping the Sim pointer and
-// recycling the latched-entry map (cleared, not reallocated). Every field is
-// restored to what a freshly allocated exec would hold — mapLookup's
-// lazy-init tolerates an empty non-nil map — EXCEPT pkt, which the caller
-// overwrites in full before any use (decode-cache copy, or an explicit zero
-// + Decode on the corruption path): skipping it here avoids zeroing and
-// write-barriering the largest field twice per packet.
-func (e *exec) reset(wire []byte, pktIndex int) {
-	for k := range e.latched {
-		delete(e.latched, k)
+// latchedEnt associates a map-state name with the entry the NF last touched.
+// A program declares at most a handful of map states, so a linear scan over
+// an association slice beats a map here — and clearing it per packet is a
+// length truncation instead of a bucket-array memclr (which profiled at ~8%
+// of SimRun). Names come from the program's instructions, so the string
+// compare in latchGet is usually a same-pointer fast path.
+type latchedEnt struct {
+	name string
+	ent  *mapEntry
+}
+
+func (e *exec) latchGet(name string) *mapEntry {
+	for i := range e.latched {
+		if e.latched[i].name == name {
+			return e.latched[i].ent
+		}
 	}
+	return nil
+}
+
+func (e *exec) latchSet(name string, ent *mapEntry) {
+	for i := range e.latched {
+		if e.latched[i].name == name {
+			e.latched[i].ent = ent
+			return
+		}
+	}
+	e.latched = append(e.latched, latchedEnt{name: name, ent: ent})
+}
+
+func (e *exec) latchDel(name string) {
+	for i := range e.latched {
+		if e.latched[i].name == name {
+			last := len(e.latched) - 1
+			e.latched[i] = e.latched[last]
+			e.latched[last] = latchedEnt{}
+			e.latched = e.latched[:last]
+			return
+		}
+	}
+}
+
+// reset re-arms the exec for the next packet, keeping the Sim pointer and
+// recycling the latched-entry slice (truncated, not reallocated). Every
+// field is restored to what a freshly allocated exec would hold EXCEPT
+// pktCopy, which is dead until writeField or the corruption path (re)own
+// it: skipping it here avoids zeroing and write-barriering the largest
+// field twice per packet.
+func (e *exec) reset(wire []byte, pktIndex int) {
+	e.latched = e.latched[:0]
+	e.pkt = nil // the caller points it at this packet's decode before any use
+	e.pktOwned = false
 	e.wire = wire
 	e.pktIndex = pktIndex
 	e.now = 0
@@ -210,7 +259,7 @@ func (e *exec) VCall(in *cir.Instr, args []uint64) (uint64, error) {
 
 	case cir.VCMapGet:
 		e.charge(1)
-		if ent := e.latched[in.State]; ent != nil {
+		if ent := e.latchGet(in.State); ent != nil {
 			idx := int(args[0]) & 1
 			return ent.v[idx], nil
 		}
@@ -227,7 +276,7 @@ func (e *exec) VCall(in *cir.Instr, args []uint64) (uint64, error) {
 		e.charge(s.nic.HashCycles)
 		e.now += s.memAccess(m.region, m.bucketAddr(args[0]), true, &e.bd)
 		m.del(args[0])
-		delete(e.latched, in.State)
+		e.latchDel(in.State)
 		if s.fc != nil {
 			s.fc.invalidate(in.State, args[0])
 		}
@@ -332,9 +381,6 @@ func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if e.latched == nil {
-		e.latched = map[string]*mapEntry{}
-	}
 	useFC := s.cfg.Place.UseFlowCache[name] && s.fc != nil
 	if useFC && s.accelDown("flowcache") {
 		s.noteFallback("flowcache") // outage: direct memory lookup
@@ -345,7 +391,7 @@ func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
 			e.now = t
 			if ent, hit := s.fc.get(name, key); hit {
 				if me, live := ent.(*mapEntry); live {
-					e.latched[name] = me
+					e.latchSet(name, me)
 					return 1, nil
 				}
 			}
@@ -358,11 +404,11 @@ func (e *exec) mapLookup(name string, key uint64) (uint64, error) {
 	e.now += s.memAccess(m.region, m.bucketAddr(key), false, &e.bd)
 	ent, found := m.lookup(key)
 	if !found {
-		delete(e.latched, name)
+		e.latchDel(name)
 		return 0, nil
 	}
 	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), false, &e.bd)
-	e.latched[name] = ent
+	e.latchSet(name, ent)
 	if useFC {
 		s.fc.put(name, key, ent)
 	}
@@ -386,10 +432,7 @@ func (e *exec) mapPut(name string, args []uint64) (uint64, error) {
 	e.now += s.memAccess(m.region, m.bucketAddr(args[0]), false, &e.bd)
 	ent := m.put(args[0], v0, v1)
 	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), true, &e.bd)
-	if e.latched == nil {
-		e.latched = map[string]*mapEntry{}
-	}
-	e.latched[name] = ent
+	e.latchSet(name, ent)
 	if s.cfg.Place.UseFlowCache[name] && s.fc != nil && !s.accelDown("flowcache") {
 		s.fc.put(name, args[0], ent)
 	}
@@ -403,7 +446,7 @@ func (e *exec) mapIncr(name string, args []uint64) (uint64, error) {
 		return 0, err
 	}
 	key, idx, delta := args[0], int(args[1])&1, args[2]
-	ent := e.latched[name]
+	ent := e.latchGet(name)
 	if ent == nil || e.s.maps[name].entries[key] != ent {
 		e.charge(s.nic.HashCycles)
 		e.now += s.memAccess(m.region, m.bucketAddr(key), false, &e.bd)
@@ -412,10 +455,7 @@ func (e *exec) mapIncr(name string, args []uint64) (uint64, error) {
 		if !found {
 			ent = m.put(key, 0, 0)
 		}
-		if e.latched == nil {
-			e.latched = map[string]*mapEntry{}
-		}
-		e.latched[name] = ent
+		e.latchSet(name, ent)
 	}
 	// Read-modify-write of the entry.
 	e.now += s.memAccess(m.region, m.entryAddr(ent.idx), false, &e.bd)
@@ -520,7 +560,7 @@ func (e *exec) hasProto(proto uint64) bool {
 // "tcp || udp" can use one code path, mirroring how NIC metadata exposes
 // L4 fields.
 func (e *exec) readField(proto, field uint64) uint64 {
-	p := &e.pkt
+	p := e.pkt
 	switch field {
 	case cir.FieldSrcAddr:
 		if p.HasIP4 {
@@ -596,7 +636,16 @@ func (e *exec) readField(proto, field uint64) uint64 {
 }
 
 func (e *exec) writeField(proto, field, val uint64) {
-	p := &e.pkt
+	if !e.pktOwned {
+		// Copy-on-write: the decode this points at is shared (trace cache),
+		// so the first header write copies it into exec-owned storage. The
+		// wire/payload slices still alias the trace, which writeField never
+		// touches.
+		e.pktCopy = *e.pkt
+		e.pkt = &e.pktCopy
+		e.pktOwned = true
+	}
+	p := e.pkt
 	switch field {
 	case cir.FieldSrcAddr:
 		if p.HasIP4 {
@@ -702,6 +751,14 @@ func (f *flowCache) put(state string, key uint64, v interface{}) {
 		f.unlink(lru)
 		delete(f.entries, lru.k)
 	}
+}
+
+// reset empties the cache and zeroes its counters without reallocating the
+// entry map; the Sim pool relies on it.
+func (f *flowCache) reset() {
+	clear(f.entries)
+	f.head, f.tail = nil, nil
+	f.hits, f.misses = 0, 0
 }
 
 func (f *flowCache) invalidate(state string, key uint64) {

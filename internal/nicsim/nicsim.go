@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
 
@@ -273,16 +272,26 @@ type Sim struct {
 	arrays   map[string]*arrayState
 	patterns map[string]*patternState
 
-	caches map[int]*cache // region ID → cache
+	// caches is indexed by memory region ID (Validate pins ID == index);
+	// nil entries are uncached regions. ownCaches always points at this
+	// Sim's own instances: shareIslands aims caches at the lead tenant's,
+	// and reset restores the original aliasing from ownCaches (likewise
+	// ownFC for fc and nThreads for the full thread-pool size).
+	caches    []*cache
+	ownCaches []*cache
+	ownFC     *flowCache
+	nThreads  int
 
 	threadFree []float64
 	// threads keeps the earliest-free NPU thread at its root (running-minimum
-	// over threadFree), so per-packet dispatch is O(log threads) instead of a
+	// over its own packed copy of the free times; bookThread writes both it
+	// and threadFree), so per-packet dispatch is O(log threads) instead of a
 	// linear scan.
 	threads threadHeap
 	// unitFree holds per-server next-free times for accelerators, parser
-	// and egress engines (a unit with N threads is N parallel servers).
-	unitFree map[int][]float64
+	// and egress engines (a unit with N threads is N parallel servers),
+	// indexed by unit ID; inner slices are built lazily on first visit.
+	unitFree [][]float64
 	hubFree  [][]float64
 
 	fcUnit int // flow-cache accelerator unit ID, -1 when absent
@@ -365,8 +374,8 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		maps: map[string]*mapState{}, lpms: map[string]*lpmState{},
 		sketches: map[string]*sketchState{}, arrays: map[string]*arrayState{},
 		patterns: map[string]*patternState{},
-		caches:   map[int]*cache{},
-		unitFree: map[int][]float64{},
+		caches:   make([]*cache, len(cfg.NIC.Mems)),
+		unitFree: make([][]float64, len(cfg.NIC.Units)),
 		fcUnit:   -1,
 		rngState: uint64(cfg.Seed)*2862933555777941757 + 3037000493,
 		faults:   cfg.Faults,
@@ -439,6 +448,7 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 	for _, id := range gp {
 		total += s.nic.Units[id].Threads
 	}
+	s.nThreads = total
 	s.threadFree = make([]float64, total)
 	s.threads = newThreadHeap(s.threadFree)
 	s.hubFree = make([][]float64, len(s.nic.Hubs))
@@ -449,10 +459,12 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 			s.caches[m.ID] = newCache(m.CacheBytes, m.LineBytes)
 		}
 	}
+	s.ownCaches = s.caches
 	if fcs := s.nic.Accelerators("flowcache"); len(fcs) > 0 {
 		s.fcUnit = fcs[0]
 		s.fc = newFlowCache(s.nic.Units[s.fcUnit].TableEntries)
 	}
+	s.ownFC = s.fc
 
 	// Place state: allocate simulated addresses region by region. Contents
 	// of synthesized state (LPM rules, array preloads) derive from the state
@@ -497,11 +509,7 @@ func NewContext(ctx context.Context, cfg Config) (*Sim, error) {
 		case cir.StateArray:
 			arr := newArrayState(obj, region, nextAddr(region, obj.Bytes()))
 			if n := cfg.Preload[obj.Name]; n > 0 {
-				// Pre-install deterministic values (backend IDs, weights).
-				rng := rand.New(rand.NewSource(stateSeed(stSeed, obj.Name)))
-				for i := 0; i < n && i < len(arr.vals); i++ {
-					arr.vals[i] = uint64(rng.Intn(256))
-				}
+				arr.preload(n, stateSeed(stSeed, obj.Name))
 			}
 			s.arrays[obj.Name] = arr
 		case cir.StatePattern:
@@ -632,7 +640,9 @@ func (rs *runState) finish() *Result {
 	rs.releaseCorrupt()
 	s, res := rs.s, rs.res
 	for id, c := range s.caches {
-		res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+		if c != nil {
+			res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+		}
 	}
 	if s.fc != nil {
 		res.FlowCacheHitRate = s.fc.HitRate()
@@ -711,10 +721,13 @@ func (rs *runState) step(i, g int) error {
 	decodeFailed := false
 	if corrupted {
 		// The wire bytes differ from the trace's, so the cached decode
-		// does not apply: decode the corrupted copy fresh.
+		// does not apply: decode the corrupted copy fresh into exec-owned
+		// storage.
+		e.pkt = &e.pktCopy
+		e.pktOwned = true
 		decodeFailed = e.pkt.Decode(data) != nil
 	} else {
-		e.pkt = rs.decoded[i]
+		e.pkt = &rs.decoded[i]
 		decodeFailed = rs.decodeErr[i]
 	}
 	if decodeFailed {
@@ -746,7 +759,9 @@ func (rs *runState) step(i, g int) error {
 		}
 	}
 	dma := float64(len(data)/64+1) * 1.0
-	s.tl.add(Hop{Packet: g, Stage: "dma", Unit: -1, Start: t, Dur: dma})
+	if s.tl != nil {
+		s.tl.add(Hop{Packet: g, Stage: "dma", Unit: -1, Start: t, Dur: dma})
+	}
 	t += dma
 	e.bd.Fixed += dma
 	if s.cfg.Place.ParseOnEngine && len(s.parserUnits) > 0 {
@@ -758,7 +773,10 @@ func (rs *runState) step(i, g int) error {
 	// threadFree, with ties broken toward the lowest index exactly as
 	// the linear scan it replaced resolved them.
 	th := s.threads.min()
-	start := math.Max(t, s.threadFree[th])
+	start := t
+	if f := s.threadFree[th]; f > start {
+		start = f
+	}
 	// Under a fault-injected queue cap, the dispatch queue in front of
 	// the NPU complex is finite: a wait exceeding QueueCap mean service
 	// times (≈ QueueCap packets queued, by Little's law) sheds the
@@ -826,13 +844,17 @@ func (rs *runState) step(i, g int) error {
 		// manufacture phantom waits behind long-running packets).
 		if eg := s.egressUnits; len(eg) > 0 {
 			svc := s.nic.Units[eg[0]].FixedCycles
-			s.tl.add(Hop{Packet: g, Stage: "egress", Unit: -1, Start: done, Dur: svc})
+			if s.tl != nil {
+				s.tl.add(Hop{Packet: g, Stage: "egress", Unit: -1, Start: done, Dur: svc})
+			}
 			done += svc
 			e.bd.Fixed += svc
 		}
 		if len(s.nic.Hubs) > 1 {
 			svc := s.nic.Hubs[1].ServiceCycles
-			s.tl.add(Hop{Packet: g, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
+			if s.tl != nil {
+				s.tl.add(Hop{Packet: g, Stage: "egress-hub", Unit: -1, Start: done, Dur: svc})
+			}
 			done += svc
 			e.bd.Fixed += svc
 		}
@@ -843,7 +865,7 @@ func (rs *runState) step(i, g int) error {
 	}
 	rs.res.Packets = append(rs.res.Packets, PacketResult{
 		ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
-		Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
+		Verdict: verdict, Class: classify(e.pkt), Breakdown: e.bd,
 	})
 	return nil
 }
@@ -851,10 +873,12 @@ func (rs *runState) step(i, g int) error {
 // bookThread advances thread th's next-free time and restores the heap. th
 // is always the heap root (dispatch only ever books the earliest-free
 // thread), and free times only move forward, so one sift-down suffices. Shed
-// packets never book, leaving the heap untouched.
+// packets never book, leaving the heap untouched. The heap keeps its own
+// packed copy of the free times; threadFree stays current for busyAfter and
+// the timeline.
 func (s *Sim) bookThread(th int, free float64) {
 	s.threadFree[th] = free
-	s.threads.fix()
+	s.threads.book(free)
 }
 
 // corruptPool recycles the wire-byte copies that corruption fault injection
@@ -887,7 +911,10 @@ func (s *Sim) hubVisit(hub int, t float64, bd *Breakdown) (float64, bool) {
 			best = i
 		}
 	}
-	start := math.Max(t, servers[best])
+	start := t
+	if f := servers[best]; f > start {
+		start = f
+	}
 	if f := s.faults; f != nil && f.QueueCap > 0 && start-t > float64(f.QueueCap)*h.ServiceCycles {
 		return t, true // queue overflow: drop without booking a server
 	}
@@ -999,8 +1026,8 @@ func (s *Sim) accelVisit(unit int, bytes int, now float64, bd *Breakdown) (float
 // peekWait returns the wait a request arriving now would incur at the unit,
 // without booking anything.
 func (s *Sim) peekWait(unit int, now float64) float64 {
-	servers, ok := s.unitFree[unit]
-	if !ok || len(servers) == 0 {
+	servers := s.unitFree[unit]
+	if len(servers) == 0 {
 		return 0
 	}
 	best := servers[0]
@@ -1036,8 +1063,8 @@ func (s *Sim) engineVisit(unit int, now float64, bd *Breakdown) float64 {
 // claimServer finds the unit's earliest-free server, books svc cycles on it
 // starting no earlier than now, and returns the start time and server index.
 func (s *Sim) claimServer(unit int, now, svc float64) (float64, int) {
-	servers, ok := s.unitFree[unit]
-	if !ok {
+	servers := s.unitFree[unit]
+	if servers == nil {
 		n := s.nic.Units[unit].Threads
 		if n < 1 {
 			n = 1
@@ -1051,7 +1078,10 @@ func (s *Sim) claimServer(unit int, now, svc float64) (float64, int) {
 			best = i
 		}
 	}
-	start := math.Max(now, servers[best])
+	start := now
+	if f := servers[best]; f > start {
+		start = f
+	}
 	if c := s.coloc; c != nil {
 		own := c.unitOwner[unit]
 		if own == nil {

@@ -36,7 +36,9 @@ func referenceRunContext(s *Sim, ctx context.Context, tr *workload.Trace) (*Resu
 	runSteps := int64(0)
 	finish := func() *Result {
 		for id, c := range s.caches {
-			res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+			if c != nil {
+				res.CacheHitRate[s.nic.Mems[id].Name] = c.HitRate()
+			}
 		}
 		if s.fc != nil {
 			res.FlowCacheHitRate = s.fc.HitRate()
@@ -91,6 +93,8 @@ func referenceRunContext(s *Sim, ctx context.Context, tr *workload.Trace) (*Resu
 		}
 
 		e := &exec{s: s, wire: data, pktIndex: i}
+		e.pkt = &e.pktCopy
+		e.pktOwned = true
 		if err := e.pkt.Decode(data); err != nil {
 			t, dropped := s.hubVisit(0, arrival, &e.bd)
 			if dropped {
@@ -198,7 +202,7 @@ func referenceRunContext(s *Sim, ctx context.Context, tr *workload.Trace) (*Resu
 		}
 		res.Packets = append(res.Packets, PacketResult{
 			ArrivalCycles: arrival, DoneCycles: done, Latency: done - arrival,
-			Verdict: verdict, Class: classify(&e.pkt), Breakdown: e.bd,
+			Verdict: verdict, Class: classify(e.pkt), Breakdown: e.bd,
 		})
 	}
 	return finish(), nil

@@ -108,10 +108,10 @@ type shardRun struct {
 	fcPresent             bool
 }
 
-// runShard builds shard w's simulator and runs tr.Packets[lo:hi] attributed
-// to global indices base+lo..base+hi.
-func runShard(ctx context.Context, cfg Config, tr *workload.Trace, base, lo, hi, w int) shardRun {
-	sim, err := NewContext(ctx, shardConfig(cfg, w))
+// runShard builds (or recycles from pool) shard w's simulator and runs
+// tr.Packets[lo:hi] attributed to global indices base+lo..base+hi.
+func runShard(ctx context.Context, cfg Config, tr *workload.Trace, base, lo, hi, w int, pool *simPool) shardRun {
+	sim, err := pool.get(ctx, shardConfig(cfg, w))
 	if err != nil {
 		return shardRun{err: err}
 	}
@@ -119,6 +119,7 @@ func runShard(ctx context.Context, cfg Config, tr *workload.Trace, base, lo, hi,
 	res, err := sim.runRange(ctx, tr, base, lo, hi)
 	sr := shardRun{res: res, err: err}
 	captureCounters(sim, &sr)
+	pool.put(sim)
 	return sr
 }
 
@@ -162,6 +163,7 @@ func RunShardedContext(ctx context.Context, cfg Config, tr *workload.Trace, opts
 			dispatch = windows
 		}
 	}
+	pool := &simPool{}
 	runs, _ := runner.Map(ctx, opts.Workers, dispatch,
 		func(cctx context.Context, w int) (shardRun, error) {
 			lo := w * window
@@ -172,7 +174,7 @@ func RunShardedContext(ctx context.Context, cfg Config, tr *workload.Trace, opts
 			// Errors stay inside the shardRun: the merge resolves the
 			// winning error by shard index, deterministically, rather than
 			// by whichever worker failed first on the clock.
-			return runShard(cctx, cfg, tr, 0, lo, hi, w), nil
+			return runShard(cctx, cfg, tr, 0, lo, hi, w, pool), nil
 		})
 	return mergeShards(ctx, cfg, runs)
 }
@@ -226,12 +228,13 @@ func RunShardedStreamContext(ctx context.Context, cfg Config, src WindowSource, 
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	var wg sync.WaitGroup
+	pool := &simPool{}
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				sr := runShard(ctx, cfg, j.tr, j.base, 0, len(j.tr.Packets), j.w)
+				sr := runShard(ctx, cfg, j.tr, j.base, 0, len(j.tr.Packets), j.w, pool)
 				record(j.w, sr)
 				if sr.err != nil {
 					stopOnce.Do(func() { close(stop) })

@@ -81,6 +81,15 @@ func (m *mapState) del(key uint64) {
 	delete(m.entries, key)
 }
 
+// reset restores the table to its freshly constructed (empty) state without
+// reallocating the bucket map or the order ring; the Sim pool relies on it.
+func (m *mapState) reset() {
+	clear(m.entries)
+	m.order = m.order[:0]
+	m.nextIdx = 0
+	m.replaced = 0
+}
+
 // lpmRule is one route of the LPM table.
 type lpmRule struct {
 	prefix uint32
@@ -208,6 +217,15 @@ func (s *sketchState) add(key uint64) uint64 {
 	return est
 }
 
+// reset zeroes every counter, restoring the freshly constructed state.
+func (s *sketchState) reset() {
+	for _, row := range s.counts {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
 // read returns the min estimate without modifying the sketch.
 func (s *sketchState) read(key uint64) uint64 {
 	est := ^uint64(0)
@@ -236,6 +254,23 @@ func newArrayState(obj cir.StateObj, region int, base uint64) *arrayState {
 }
 
 func (a *arrayState) idx(i uint64) int { return int(i % uint64(len(a.vals))) }
+
+// preload deterministically pre-installs n values (backend IDs, weights)
+// from the state-seed stream; NewContext and Sim.reset both call it so a
+// recycled array is value-identical to a fresh one.
+func (a *arrayState) preload(n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n && i < len(a.vals); i++ {
+		a.vals[i] = uint64(rng.Intn(256))
+	}
+}
+
+// reset zeroes the array; the caller re-runs preload as needed.
+func (a *arrayState) reset() {
+	for i := range a.vals {
+		a.vals[i] = 0
+	}
+}
 
 func (a *arrayState) addr(i int) uint64 {
 	return a.base + uint64(i)*uint64(a.obj.ValueSize)

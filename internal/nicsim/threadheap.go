@@ -1,58 +1,105 @@
 package nicsim
 
-// threadHeap tracks the earliest-free NPU thread as a binary min-heap over
-// thread indices, ordered by (free time, thread index). The tie-break on
-// index makes min() return exactly the thread the previous per-packet linear
-// scan (strict <, ascending index) selected, so dispatch order — and with it
-// every downstream queue wait and timeline hop — is byte-identical to the
-// O(threads) scan this replaces, at O(log threads) per booking.
+// threadHeap tracks the earliest-free NPU thread as a binary min-heap of
+// packed (free time, thread index) entries, ordered by (free, index). The
+// tie-break on index makes min() return exactly the thread the original
+// per-packet linear scan (strict <, ascending index) selected, so dispatch
+// order — and with it every downstream queue wait and timeline hop — is
+// byte-identical to the O(threads) scan, at O(log threads) per booking.
+// (A 4-ary layout was tried and measured slower here: bookings descend to
+// the bottom almost every time, so the extra per-level comparisons outweigh
+// the halved depth.)
 //
-// The heap only ever sees one mutation pattern: the root is booked further
-// into the future (free times never move backward), so fix() is a single
-// sift-down from the root.
+// Packing the key next to the index keeps each comparison inside one heap
+// entry instead of chasing free[idx[i]] through a second slice, so the heap
+// owns a copy of the free times rather than aliasing Sim.threadFree (which
+// busyAfter and the timeline still read): Sim.bookThread writes the table
+// and the heap together.
+//
+// The heap only ever sees one mutation pattern — book() advances the root
+// further into the future (free times never move backward) — so restoring
+// order is a single hold-in-hand sift-down from the root.
 type threadHeap struct {
-	free []float64 // shared with Sim.threadFree; the heap never writes it
-	idx  []int     // heap-ordered thread indices
+	ents []heapEnt
+}
+
+type heapEnt struct {
+	free float64
+	idx  int32
 }
 
 func newThreadHeap(free []float64) threadHeap {
-	idx := make([]int, len(free))
-	for i := range idx {
-		idx[i] = i
+	var h threadHeap
+	h.init(free)
+	return h
+}
+
+// init (re)builds the heap over free, reusing the entry backing array when
+// it is large enough — Sim.reset recycles the heap this way.
+func (h *threadHeap) init(free []float64) {
+	if cap(h.ents) >= len(free) {
+		h.ents = h.ents[:len(free)]
+	} else {
+		h.ents = make([]heapEnt, len(free))
 	}
-	// All threads start free at cycle 0, so ascending indices already
-	// satisfy the (free, index) heap order.
-	return threadHeap{free: free, idx: idx}
+	for i := range h.ents {
+		h.ents[i] = heapEnt{free: free[i], idx: int32(i)}
+	}
+	// Threads normally all start free at 0 (ascending indices are already
+	// heap-ordered), but establish the invariant for any input.
+	for i := len(h.ents)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // min returns the thread index with the smallest (free time, index) key.
-func (h *threadHeap) min() int { return h.idx[0] }
+func (h *threadHeap) min() int { return int(h.ents[0].idx) }
 
-func (h *threadHeap) less(a, b int) bool {
-	ia, ib := h.idx[a], h.idx[b]
-	if h.free[ia] != h.free[ib] {
-		return h.free[ia] < h.free[ib]
+// book advances the minimum thread's free time and restores heap order.
+func (h *threadHeap) book(free float64) {
+	if len(h.ents) < 2 {
+		// Single thread: the root is the whole heap.
+		h.ents[0].free = free
+		return
 	}
-	return ia < ib
+	h.ents[0].free = free
+	h.siftDown(0)
 }
 
-// fix restores heap order after the root thread's free time advanced.
-func (h *threadHeap) fix() {
-	i := 0
-	n := len(h.idx)
+// siftDown restores heap order below i. Because book() pushes the root far
+// into the future, the displaced entry nearly always belongs at the bottom,
+// so this uses Wegener's bottom-up variant: descend the min-child path to a
+// leaf comparing only siblings (one comparison per level instead of two),
+// then bubble the held entry back up the rare level or two it overshot.
+func (h *threadHeap) siftDown(i int) {
+	ents := h.ents
+	n := len(ents)
+	e := ents[i]
+	start := i
+	// Descend the min-child path without comparing against e.
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && h.less(l, m) {
-			m = l
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
-		if r < n && h.less(r, m) {
-			m = r
+		if r := l + 1; r < n {
+			cl, cr := ents[l], ents[r]
+			if cr.free < cl.free || (cr.free == cl.free && cr.idx < cl.idx) {
+				l = r
+			}
 		}
-		if m == i {
-			return
-		}
-		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
-		i = m
+		ents[i] = ents[l]
+		i = l
 	}
+	// Bubble e back up to its true position along the path just vacated.
+	for i > start {
+		p := (i - 1) / 2
+		c := ents[p]
+		if c.free < e.free || (c.free == e.free && c.idx < e.idx) {
+			break
+		}
+		ents[i] = c
+		i = p
+	}
+	ents[i] = e
 }

@@ -37,9 +37,9 @@ func TestThreadHeapMatchesLinearScan(t *testing.T) {
 			// Book the chosen thread the way dispatch does: its free time
 			// only ever advances. Durations from a small integer set force
 			// frequent exact ties; occasional zero-length bookings keep the
-			// root's key unchanged, which fix() must also handle.
+			// root's key unchanged, which book() must also handle.
 			free[got] += float64(rng.Intn(4))
-			h.fix()
+			h.book(free[got])
 		}
 	}
 }
@@ -57,6 +57,6 @@ func TestThreadHeapTieStorm(t *testing.T) {
 			t.Fatalf("step %d: heap %d, scan %d (free=%v)", step, h.min(), want, free)
 		}
 		free[want] += 1 // all durations equal: permanent tie pressure
-		h.fix()
+		h.book(free[want])
 	}
 }
